@@ -1,0 +1,180 @@
+// Ablations for the extension features built on top of the paper's design:
+//   (1) KLD-adaptive particle counts vs fixed-size SIR at equal average
+//       budget (Fox 2003 applied to the paper's accuracy/compute question);
+//   (2) auxiliary PF vs bootstrap SIR as the likelihood sharpens;
+//   (3) Gordon roughening vs none under the diversity-destroying
+//       All-to-All exchange (attacking the Fig 6a failure mode directly).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/adaptive_pf.hpp"
+#include "core/auxiliary_pf.hpp"
+#include "models/growth.hpp"
+#include "models/vehicle.hpp"
+
+namespace {
+
+using namespace esthera;
+
+void kld_table(const bench::Protocol& proto) {
+  std::cout << "(1) KLD-adaptive vs fixed-size SIR, growth model\n";
+  bench_util::Table table({"filter", "avg particles", "RMSE"});
+  const models::GrowthModel<double> model;
+
+  double adaptive_particles = 0.0;
+  std::size_t adaptive_steps = 0;
+  estimation::ErrorAccumulator adaptive_err;
+  for (std::size_t r = 0; r < proto.runs; ++r) {
+    sim::ModelSimulator<models::GrowthModel<double>> sim(model, proto.seed + r);
+    core::KldOptions kopts;
+    kopts.bin_size = 1.0;
+    kopts.seed = 7 + r;
+    core::KldAdaptiveParticleFilter<models::GrowthModel<double>> pf(model, kopts);
+    for (std::size_t k = 0; k < proto.steps; ++k) {
+      const auto step = sim.advance();
+      pf.step(step.z);
+      adaptive_err.add_scalar(pf.estimate()[0] - step.truth[0]);
+      adaptive_particles += static_cast<double>(pf.particle_count());
+      ++adaptive_steps;
+    }
+  }
+  const auto avg_n = static_cast<std::size_t>(adaptive_particles / adaptive_steps);
+  table.add_row({"KLD-adaptive", bench_util::Table::num(avg_n),
+                 bench_util::Table::num(adaptive_err.rmse(), 4)});
+
+  for (const std::size_t n : {avg_n / 4, avg_n, avg_n * 4}) {
+    estimation::ErrorAccumulator err;
+    for (std::size_t r = 0; r < proto.runs; ++r) {
+      sim::ModelSimulator<models::GrowthModel<double>> sim(model, proto.seed + r);
+      core::CentralizedOptions opts;
+      opts.estimator = core::EstimatorKind::kWeightedMean;
+      opts.seed = 7 + r;
+      core::CentralizedParticleFilter<models::GrowthModel<double>> pf(model, n, opts);
+      for (std::size_t k = 0; k < proto.steps; ++k) {
+        const auto step = sim.advance();
+        pf.step(step.z);
+        err.add_scalar(pf.estimate()[0] - step.truth[0]);
+      }
+    }
+    table.add_row({"fixed SIR", bench_util::Table::num(n),
+                   bench_util::Table::num(err.rmse(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void apf_table(const bench::Protocol& proto) {
+  std::cout << "(2) auxiliary PF vs bootstrap SIR as the likelihood sharpens "
+               "(vehicle model, 100 particles; unimodal posterior - on the "
+               "bimodal growth model the look-ahead misleads and APF loses)\n";
+  bench_util::Table table({"range noise [m]", "bootstrap RMSE", "auxiliary RMSE"});
+  const std::vector<double> u = {0.02, 0.05};
+  for (const double mr : {0.3, 0.1, 0.03}) {
+    models::VehicleParams<double> p;
+    p.meas_sigma_range = mr;
+    p.meas_sigma_bearing = mr / 6.0;
+    const models::VehicleModel<double> model(p);
+    estimation::ErrorAccumulator sir_err, apf_err;
+    for (std::size_t r = 0; r < proto.runs; ++r) {
+      sim::ModelSimulator<models::VehicleModel<double>> sim(model, proto.seed + r);
+      core::CentralizedOptions opts;
+      opts.estimator = core::EstimatorKind::kWeightedMean;
+      opts.seed = 7 + r;
+      core::CentralizedParticleFilter<models::VehicleModel<double>> sir(model, 100,
+                                                                        opts);
+      core::AuxiliaryParticleFilter<models::VehicleModel<double>> apf(model, 100,
+                                                                      7 + r);
+      for (std::size_t k = 0; k < proto.steps; ++k) {
+        const auto step = sim.advance(u);
+        sir.step(step.z, u);
+        apf.step(step.z, u);
+        if (k >= proto.warmup) {
+          sir_err.add_step(std::vector<double>{sir.estimate()[0] - step.truth[0],
+                                               sir.estimate()[1] - step.truth[1]});
+          apf_err.add_step(std::vector<double>{apf.estimate()[0] - step.truth[0],
+                                               apf.estimate()[1] - step.truth[1]});
+        }
+      }
+    }
+    table.add_row({bench_util::Table::num(mr, 2),
+                   bench_util::Table::num(sir_err.rmse(), 4),
+                   bench_util::Table::num(apf_err.rmse(), 4)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void roughening_table(const bench::Protocol& proto) {
+  std::cout << "(3) Gordon roughening under All-to-All exchange (m=16, N=64)\n";
+  bench_util::Table table({"roughening k", "All-to-All RMSE", "Ring RMSE"});
+  for (const double k : {0.0, 0.05, 0.1, 0.2}) {
+    std::vector<std::string> row{bench_util::Table::num(k, 2)};
+    for (const auto scheme : {topology::ExchangeScheme::kAllToAll,
+                              topology::ExchangeScheme::kRing}) {
+      core::FilterConfig cfg;
+      cfg.particles_per_filter = 16;
+      cfg.num_filters = 64;
+      cfg.scheme = scheme;
+      cfg.exchange_particles = 1;
+      cfg.roughening_k = k;
+      row.push_back(bench_util::Table::num(bench::distributed_arm_error(cfg, proto), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void move_table(const bench::Protocol& proto) {
+  std::cout << "(4) resample-move rejuvenation (growth model, 500 particles)\n";
+  bench_util::Table table({"move steps", "RMSE", "MH acceptance"});
+  const models::GrowthModel<double> model;
+  for (const std::size_t moves : {0u, 1u, 2u, 4u}) {
+    estimation::ErrorAccumulator err;
+    double acceptance = 0.0;
+    for (std::size_t r = 0; r < proto.runs; ++r) {
+      sim::ModelSimulator<models::GrowthModel<double>> sim(model, proto.seed + r);
+      core::CentralizedOptions opts;
+      opts.estimator = core::EstimatorKind::kWeightedMean;
+      opts.seed = 7 + r;
+      opts.move_steps = moves;
+      core::CentralizedParticleFilter<models::GrowthModel<double>> pf(model, 500,
+                                                                      opts);
+      for (std::size_t k = 0; k < proto.steps; ++k) {
+        const auto step = sim.advance();
+        pf.step(step.z);
+        err.add_scalar(pf.estimate()[0] - step.truth[0]);
+      }
+      acceptance += pf.move_acceptance_rate();
+    }
+    table.add_row({bench_util::Table::num(moves),
+                   bench_util::Table::num(err.rmse(), 4),
+                   moves == 0 ? "-"
+                              : bench_util::Table::num(
+                                    100.0 * acceptance / proto.runs, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  bench_util::Cli cli(argc, argv);
+  const auto proto = bench::Protocol::from_cli(cli);
+
+  bench::print_header("Extension ablations",
+                      "Adaptive particle counts, auxiliary proposals, and "
+                      "roughening on top of the paper's design.");
+  kld_table(proto);
+  apf_table(proto);
+  roughening_table(proto);
+  move_table(proto);
+  std::cout << "Expected shapes: (1) the adaptive filter matches the accuracy "
+               "of a fixed filter near its own average size; (2) the APF gap "
+               "grows as the likelihood sharpens; (3) roughening recovers part "
+               "of the diversity All-to-All destroys while barely affecting "
+               "the Ring.\n";
+  return 0;
+}

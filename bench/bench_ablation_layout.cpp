@@ -1,0 +1,119 @@
+// Sec. VI ablation: particle memory layout. The paper stores particle data
+// in Array-of-Structures format because its state vectors exceed 16 bytes,
+// which favors AoS on its GPUs' coalescing rules. On a cache-based CPU the
+// trade-off reappears as spatial locality: the sampling kernel touches all
+// components of one particle (AoS-friendly), while component-wise sweeps
+// favor SoA. This bench measures a robot-arm transition sweep in both
+// layouts across state dimensions.
+#include <chrono>
+#include <iostream>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/particle_store.hpp"
+
+namespace {
+
+using namespace esthera;
+using Clock = std::chrono::steady_clock;
+
+/// Transition sweep over an AoS store: per particle, read the whole state,
+/// integrate, write back.
+double aos_particles_per_sec(std::size_t count, std::size_t joints,
+                             std::size_t rounds) {
+  models::RobotArmParams<float> params;
+  params.n_joints = joints;
+  const models::RobotArmModel<float> model(params);
+  const std::size_t dim = model.state_dim();
+  core::ParticleStore<float> cur(count, dim);
+  core::ParticleStore<float> next(count, dim);
+  std::vector<float> noise(model.noise_dim(), 0.1f);
+  std::vector<float> u(model.control_dim(), 0.05f);
+  std::mt19937 gen(3);
+  for (auto& v : cur.raw_state()) v = static_cast<float>(gen() % 100) * 0.01f;
+
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      model.sample_transition(cur.state(i), next.state(i), u, noise, r);
+    }
+    cur.swap(next);
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(count * rounds) / secs;
+}
+
+/// The same arithmetic over an SoA store: component-major accesses.
+double soa_particles_per_sec(std::size_t count, std::size_t joints,
+                             std::size_t rounds) {
+  models::RobotArmParams<float> params;
+  params.n_joints = joints;
+  const models::RobotArmModel<float> model(params);
+  const std::size_t dim = model.state_dim();
+  const std::size_t j = joints;
+  core::ParticleStoreSoA<float> cur(count, dim);
+  core::ParticleStoreSoA<float> next(count, dim);
+  std::mt19937 gen(3);
+  for (std::size_t d = 0; d < dim; ++d) {
+    for (auto& v : cur.component(d)) v = static_cast<float>(gen() % 100) * 0.01f;
+  }
+  const float h = params.dt;
+  const float noise = 0.1f;
+  const float u = 0.05f;
+
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    // Same single-integrator / double-integrator arithmetic as the model,
+    // expressed component-wise (per-particle loop innermost, SoA style).
+    for (std::size_t d = 0; d < j; ++d) {
+      auto in = cur.component(d);
+      auto out = next.component(d);
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = in[i] + h * u + params.sigma_theta * noise;
+      }
+    }
+    for (std::size_t axis = 0; axis < 2; ++axis) {
+      auto pos_in = cur.component(j + axis);
+      auto vel_in = cur.component(j + 2 + axis);
+      auto pos_out = next.component(j + axis);
+      auto vel_out = next.component(j + 2 + axis);
+      for (std::size_t i = 0; i < count; ++i) {
+        pos_out[i] = pos_in[i] + vel_in[i] * h + params.sigma_pos * noise;
+        vel_out[i] = vel_in[i] + params.sigma_vel * noise;
+      }
+    }
+    std::swap(cur, next);
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(count * rounds) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  bench_util::Cli cli(argc, argv);
+  const bool full = cli.full_scale();
+  const std::size_t count = cli.get_size("--particles", full ? (1u << 20) : (1u << 18));
+
+  bench::print_header("Sec. VI ablation (AoS vs SoA particle layout)",
+                      "Transition-sweep throughput in both layouts (no "
+                      "likelihood, isolating memory-access pattern).");
+
+  bench_util::Table table({"state dim", "AoS Mparticles/s", "SoA Mparticles/s",
+                           "AoS/SoA"});
+  for (const std::size_t joints : {4u, 12u, 28u, 60u}) {
+    const std::size_t rounds = std::max<std::size_t>(1, (1u << 21) / count);
+    const double aos = aos_particles_per_sec(count, joints, rounds) / 1e6;
+    const double soa = soa_particles_per_sec(count, joints, rounds) / 1e6;
+    table.add_row({bench_util::Table::num(joints + 4),
+                   bench_util::Table::num(aos, 2), bench_util::Table::num(soa, 2),
+                   bench_util::Table::num(aos / soa, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nContext: the paper picked AoS because its >16-byte states "
+               "defeat SoA coalescing on GPUs; on CPUs the gap is workload-"
+               "dependent - this table records the trade-off honestly for "
+               "the emulated platform.\n";
+  return 0;
+}

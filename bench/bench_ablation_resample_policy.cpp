@@ -1,0 +1,90 @@
+// Sec. IV ablation: when to resample. The paper experimented with the ESS
+// metric and with a random resampling-frequency parameter and concluded
+// that frequent (every-round) resampling generally yields the best results,
+// while conditional schemes may help in low-particle settings. This bench
+// compares the three policies on accuracy and on time spent resampling.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace esthera;
+
+struct PolicyResult {
+  double rmse = 0.0;
+  double resample_share = 0.0;  // fraction of runtime in the resampling kernel
+};
+
+PolicyResult run_policy(const resample::ResamplePolicy& policy, std::size_t m,
+                        const bench::Protocol& proto) {
+  estimation::ErrorAccumulator err;
+  double resample_s = 0.0, total_s = 0.0;
+  sim::RobotArmScenario scenario;
+  const std::size_t j = scenario.config().arm.n_joints;
+  std::vector<float> z, u;
+  for (std::size_t r = 0; r < proto.runs; ++r) {
+    scenario.reset(proto.seed + r);
+    core::FilterConfig cfg;
+    cfg.particles_per_filter = m;
+    cfg.num_filters = 2048 / m;
+    cfg.policy = policy;
+    cfg.seed = 17 + r;
+    core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+        scenario.make_model<float>(), cfg);
+    for (std::size_t k = 0; k < proto.steps; ++k) {
+      const auto step = scenario.advance();
+      z.assign(step.z.begin(), step.z.end());
+      u.assign(step.u.begin(), step.u.end());
+      pf.step(z, u);
+      if (k >= proto.warmup) {
+        const double ex = static_cast<double>(pf.estimate()[j + 0]) - step.truth[j + 0];
+        const double ey = static_cast<double>(pf.estimate()[j + 1]) - step.truth[j + 1];
+        err.add_step(std::vector<double>{ex, ey});
+      }
+    }
+    resample_s += pf.timers().seconds(core::Stage::kResampling);
+    total_s += pf.timers().total();
+  }
+  return {err.rmse(), resample_s / total_s};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  bench_util::Cli cli(argc, argv);
+  const auto proto = bench::Protocol::from_cli(cli);
+
+  bench::print_header("Sec. IV ablation (resampling policy)",
+                      "Always-resample vs ESS-threshold vs random frequency "
+                      "(2048 total particles, Ring, t=1).");
+
+  struct Entry {
+    const char* name;
+    resample::ResamplePolicy policy;
+  };
+  const Entry entries[] = {
+      {"always", resample::ResamplePolicy::always()},
+      {"ess < 0.5", resample::ResamplePolicy::ess_threshold(0.5)},
+      {"ess < 0.2", resample::ResamplePolicy::ess_threshold(0.2)},
+      {"freq 0.5", resample::ResamplePolicy::random_frequency(0.5)},
+      {"freq 0.25", resample::ResamplePolicy::random_frequency(0.25)},
+  };
+
+  for (const std::size_t m : {16u, 64u}) {
+    std::cout << "sub-filter size m = " << m << '\n';
+    bench_util::Table table({"policy", "RMSE", "resampling runtime share"});
+    for (const auto& e : entries) {
+      const auto res = run_policy(e.policy, m, proto);
+      table.add_row({e.name, bench_util::Table::num(res.rmse, 4),
+                     bench_util::Table::num(100.0 * res.resample_share, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Paper conclusion to reproduce: frequent resampling generally "
+               "yields the best accuracy; conditional policies only save a "
+               "modest slice of runtime.\n";
+  return 0;
+}

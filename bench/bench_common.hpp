@@ -1,0 +1,151 @@
+// Shared plumbing for the figure/table benchmark harnesses: an accuracy
+// experiment runner implementing the paper's protocol (average estimation
+// error over R independent runs of S time steps each, Sec. VII-D) and a
+// throughput runner measuring achieved filter update rates (Fig 3).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/table.hpp"
+#include "core/centralized_pf.hpp"
+#include "core/distributed_pf.hpp"
+#include "device/platform.hpp"
+#include "estimation/metrics.hpp"
+#include "models/robot_arm.hpp"
+#include "sim/ground_truth.hpp"
+
+namespace esthera::bench {
+
+/// Protocol parameters for accuracy experiments.
+struct Protocol {
+  std::size_t runs = 5;     ///< independent runs (paper: 100)
+  std::size_t steps = 60;   ///< time steps per run (paper: 100)
+  std::size_t warmup = 10;  ///< steps excluded from the error average
+  std::uint64_t seed = 1;
+
+  static Protocol from_cli(const bench_util::Cli& cli) {
+    Protocol p;
+    if (cli.full_scale()) {
+      p.runs = 100;
+      p.steps = 100;
+    }
+    p.runs = cli.get_size("--runs", p.runs);
+    p.steps = cli.get_size("--steps", p.steps);
+    p.seed = cli.get_u64("--seed", p.seed);
+    return p;
+  }
+};
+
+/// Mean object-position estimation error of a distributed filter on the
+/// robot-arm scenario under the given configuration.
+inline double distributed_arm_error(const core::FilterConfig& cfg,
+                                    const Protocol& proto,
+                                    sim::RobotArmScenarioConfig scenario_cfg = {}) {
+  estimation::ErrorAccumulator err;
+  sim::RobotArmScenario scenario(scenario_cfg);
+  const std::size_t j = scenario_cfg.arm.n_joints;
+  std::vector<float> z, u;
+  for (std::size_t r = 0; r < proto.runs; ++r) {
+    scenario.reset(proto.seed + r);
+    core::FilterConfig run_cfg = cfg;
+    run_cfg.seed = cfg.seed + r * 7919;
+    core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+        scenario.make_model<float>(), run_cfg);
+    for (std::size_t k = 0; k < proto.steps; ++k) {
+      const auto step = scenario.advance();
+      z.assign(step.z.begin(), step.z.end());
+      u.assign(step.u.begin(), step.u.end());
+      pf.step(z, u);
+      if (k >= proto.warmup) {
+        const double ex =
+            static_cast<double>(pf.estimate()[j + 0]) - step.truth[j + 0];
+        const double ey =
+            static_cast<double>(pf.estimate()[j + 1]) - step.truth[j + 1];
+        err.add_step(std::vector<double>{ex, ey});
+      }
+    }
+  }
+  return err.rmse();
+}
+
+/// Same protocol for the sequential, centralized reference filter
+/// (double precision, Vose resampling - the paper's C reference).
+inline double centralized_arm_error(std::size_t n_particles, const Protocol& proto,
+                                    sim::RobotArmScenarioConfig scenario_cfg = {}) {
+  estimation::ErrorAccumulator err;
+  sim::RobotArmScenario scenario(scenario_cfg);
+  const std::size_t j = scenario_cfg.arm.n_joints;
+  for (std::size_t r = 0; r < proto.runs; ++r) {
+    scenario.reset(proto.seed + r);
+    core::CentralizedOptions opts;
+    opts.seed = 1000 + r * 7919;
+    core::CentralizedParticleFilter<models::RobotArmModel<double>> pf(
+        scenario.make_model<double>(), n_particles, opts);
+    for (std::size_t k = 0; k < proto.steps; ++k) {
+      const auto step = scenario.advance();
+      pf.step(step.z, step.u);
+      if (k >= proto.warmup) {
+        const double ex = pf.estimate()[j + 0] - step.truth[j + 0];
+        const double ey = pf.estimate()[j + 1] - step.truth[j + 1];
+        err.add_step(std::vector<double>{ex, ey});
+      }
+    }
+  }
+  return err.rmse();
+}
+
+/// Achieved update rate (rounds per second) of a distributed filter on the
+/// robot-arm scenario, measured over `steps` rounds after one warmup round.
+inline double distributed_arm_hz(const core::FilterConfig& cfg, std::size_t steps,
+                                 sim::RobotArmScenarioConfig scenario_cfg = {}) {
+  sim::RobotArmScenario scenario(scenario_cfg);
+  scenario.reset(3);
+  core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+      scenario.make_model<float>(), cfg);
+  std::vector<float> z, u;
+  const auto run_step = [&] {
+    const auto step = scenario.advance();
+    z.assign(step.z.begin(), step.z.end());
+    u.assign(step.u.begin(), step.u.end());
+    pf.step(z, u);
+  };
+  run_step();  // warmup
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < steps; ++k) run_step();
+  const auto end = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(steps) / secs;
+}
+
+/// Update rate of the centralized reference filter.
+inline double centralized_arm_hz(std::size_t n_particles, std::size_t steps,
+                                 sim::RobotArmScenarioConfig scenario_cfg = {}) {
+  sim::RobotArmScenario scenario(scenario_cfg);
+  scenario.reset(3);
+  core::CentralizedParticleFilter<models::RobotArmModel<double>> pf(
+      scenario.make_model<double>(), n_particles);
+  const auto run_step = [&] {
+    const auto step = scenario.advance();
+    pf.step(step.z, step.u);
+  };
+  run_step();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < steps; ++k) run_step();
+  const auto end = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(steps) / secs;
+}
+
+/// Prints the standard bench header (paper reference + configuration).
+inline void print_header(const char* figure, const char* description) {
+  std::cout << "== Esthera reproduction: " << figure << " ==\n"
+            << description << "\n"
+            << device::host_description() << "\n\n";
+}
+
+}  // namespace esthera::bench

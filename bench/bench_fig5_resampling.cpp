@@ -1,0 +1,147 @@
+// Fig 5: runtime of the resampling kernel, Roulette Wheel Selection vs
+// Vose's alias method, for (i) one centralized filter over all particles
+// and (ii) sub-filter-local resampling (m = 512 per group, the paper's GPU
+// sub-filter width). Paper shape: Vose's O(1)-per-sample generation makes
+// it much faster for a large centralized filter, while on small sub-filters
+// its table-construction overhead means it is never faster than RWS.
+//
+// Our emulator runs the same algorithms without GPU synchronization costs,
+// so the sub-filter-local gap is narrower than on real hardware; the
+// centralized crossover reproduces cleanly (see EXPERIMENTS.md).
+#include <chrono>
+#include <iostream>
+#include <random>
+
+#include "bench_common.hpp"
+#include "resample/rws.hpp"
+#include "resample/vose.hpp"
+
+namespace {
+
+using namespace esthera;
+using Clock = std::chrono::steady_clock;
+
+struct Workspace {
+  std::vector<float> weights, uniforms, cumsum, prob, scaled;
+  std::vector<std::uint32_t> out, alias, slots;
+
+  explicit Workspace(std::size_t n)
+      : weights(n), uniforms(2 * n), cumsum(n), prob(n), scaled(n), out(n),
+        alias(n), slots(n) {
+    std::mt19937 gen(5);
+    std::uniform_real_distribution<float> dist(0.01f, 1.0f);
+    for (auto& w : weights) w = dist(gen);
+    for (auto& u : uniforms) u = dist(gen) - 0.01f;
+  }
+};
+
+double time_rounds(std::size_t rounds, const std::function<void()>& fn) {
+  fn();  // warmup
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count() /
+         static_cast<double>(rounds);
+}
+
+/// Centralized: one resampling pass over all n particles.
+double centralized_ms(Workspace& ws, std::size_t n, bool vose, std::size_t rounds) {
+  auto w = std::span<const float>(ws.weights).first(n);
+  auto out = std::span<std::uint32_t>(ws.out).first(n);
+  if (vose) {
+    return time_rounds(rounds, [&] {
+      resample::AliasTable<float> table;
+      resample::vose_build<float>(w, table);
+      resample::vose_sample<float>(table, std::span<const float>(ws.uniforms), out);
+    });
+  }
+  return time_rounds(rounds, [&] {
+    resample::rws_resample<float>(w, std::span<const float>(ws.uniforms), out,
+                                  std::span<float>(ws.cumsum).first(n));
+  });
+}
+
+/// Average number of lock-step pairing rounds the in-place Vose build needs
+/// per sub-filter: on the real device each is a barrier whose concurrency
+/// collapses towards one, the cost our lane-serial emulation cannot show in
+/// wall-clock. RWS by contrast needs a *fixed* 2 log2(m) scan rounds plus a
+/// log2(m)-deep search, all at full concurrency.
+double vose_rounds_per_group(Workspace& ws, std::size_t n, std::size_t m) {
+  const std::size_t groups = n / m;
+  std::size_t total_rounds = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t base = g * m;
+    auto w = std::span<const float>(ws.weights).subspan(base, m);
+    auto prob = std::span<float>(ws.prob).subspan(base, m);
+    auto alias = std::span<std::uint32_t>(ws.alias).subspan(base, m);
+    auto scaled = std::span<float>(ws.scaled).subspan(base, m);
+    auto slots = std::span<std::uint32_t>(ws.slots).subspan(base, m);
+    std::size_t rounds = 0;
+    resample::vose_build_inplace<float>(w, prob, alias, scaled, slots, &rounds);
+    total_rounds += rounds;
+  }
+  return static_cast<double>(total_rounds) / static_cast<double>(groups);
+}
+
+/// Sub-filter-local: n/m independent groups of m, the device decomposition.
+double local_ms(Workspace& ws, std::size_t n, std::size_t m, bool vose,
+                std::size_t rounds) {
+  const std::size_t groups = n / m;
+  return time_rounds(rounds, [&] {
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t base = g * m;
+      auto w = std::span<const float>(ws.weights).subspan(base, m);
+      auto out = std::span<std::uint32_t>(ws.out).subspan(base, m);
+      auto uni = std::span<const float>(ws.uniforms).subspan(2 * base, 2 * m);
+      if (vose) {
+        auto prob = std::span<float>(ws.prob).subspan(base, m);
+        auto alias = std::span<std::uint32_t>(ws.alias).subspan(base, m);
+        auto scaled = std::span<float>(ws.scaled).subspan(base, m);
+        auto slots = std::span<std::uint32_t>(ws.slots).subspan(base, m);
+        resample::vose_build_inplace<float>(w, prob, alias, scaled, slots);
+        resample::vose_sample<float>(prob, alias, uni, out);
+      } else {
+        resample::rws_resample<float>(w, uni, out,
+                                      std::span<float>(ws.cumsum).subspan(base, m));
+      }
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  bench_util::Cli cli(argc, argv);
+  const bool full = cli.full_scale();
+  const std::size_t max_n = cli.get_size("--max-particles", full ? (4u << 20) : (1u << 18));
+  const std::size_t m = cli.get_size("--group-size", 512);
+
+  bench::print_header("Fig 5 (RWS vs Vose resampling runtime)",
+                      "Milliseconds per resampling round; lower is better.");
+
+  bench_util::Table table({"particles", "centralized RWS [ms]", "centralized Vose [ms]",
+                           "local RWS [ms]", "local Vose [ms]",
+                           "Vose build barriers/group"});
+  for (std::size_t n = 1024; n <= max_n; n *= 4) {
+    Workspace ws(n);
+    const std::size_t rounds = std::max<std::size_t>(1, (1u << 20) / n);
+    table.add_row({bench_util::Table::num(n),
+                   bench_util::Table::num(centralized_ms(ws, n, false, rounds), 3),
+                   bench_util::Table::num(centralized_ms(ws, n, true, rounds), 3),
+                   bench_util::Table::num(local_ms(ws, n, m, false, rounds), 3),
+                   bench_util::Table::num(local_ms(ws, n, m, true, rounds), 3),
+                   bench_util::Table::num(vose_rounds_per_group(ws, n, m), 1)});
+  }
+  table.print(std::cout);
+  const double rws_barriers = 3.0 * std::log2(static_cast<double>(m));
+  std::cout << "\nPaper shape: centralized Vose beats centralized RWS with a gap "
+               "widening in n (O(1) vs O(log n) per draw). On m=" << m
+            << " sub-filters our lane-serial emulation cannot charge for device "
+               "synchronization, so the wall-clock columns understate local "
+               "Vose's cost; the barrier column shows why the paper measured it "
+               "slower: its data-dependent pairing rounds (each a device "
+               "barrier at collapsing concurrency) rival RWS's fixed ~"
+            << bench_util::Table::num(rws_barriers, 0)
+            << " full-concurrency rounds.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig 7: estimation error versus the number of sub-filters for different
+// numbers of exchanged particles t per neighbour pair (Ring topology).
+// Paper shapes: t=0 (no exchange) is clearly worse; a single exchanged
+// particle already suffices for likely particles to spread; t>1 adds only
+// minor improvement (the paper verified the trend up to t=8).
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  bench_util::Cli cli(argc, argv);
+  const bool full = cli.full_scale();
+  const auto proto = bench::Protocol::from_cli(cli);
+  const std::size_t max_filters = cli.get_size("--max-filters", full ? 2048 : 512);
+  const std::size_t m = cli.get_size("--group-size", 16);
+
+  bench::print_header("Fig 7 (estimation error vs particles per exchange)",
+                      "RMSE of the object-position estimate, Ring topology.");
+  std::cout << "protocol: " << proto.runs << " runs x " << proto.steps
+            << " steps; m = " << m << "\n\n";
+
+  // Ring degree is 2, so the exchange inflow 2t must stay below m; the
+  // paper verified the trend up to t=8 (needs m >= 32, e.g. --group-size 64).
+  const std::size_t t_max = std::min<std::size_t>(full ? 8 : 4, m / 2 - 1);
+  const std::size_t ts[] = {0, 1, 2, t_max};
+  bench_util::Table table({"sub-filters", "t=0 RMSE", "t=1 RMSE", "t=2 RMSE",
+                           "t=" + std::to_string(t_max) + " RMSE"});
+  for (std::size_t n = 16; n <= max_filters; n *= 4) {
+    std::vector<std::string> row{bench_util::Table::num(n)};
+    for (const std::size_t t : ts) {
+      core::FilterConfig cfg;
+      cfg.particles_per_filter = m;
+      cfg.num_filters = n;
+      cfg.scheme = t == 0 ? topology::ExchangeScheme::kNone
+                          : topology::ExchangeScheme::kRing;
+      cfg.exchange_particles = t;
+      row.push_back(bench_util::Table::num(bench::distributed_arm_error(cfg, proto), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shapes: the benefit of exchanging at all (t=0 vs t=1) "
+               "is evident; beyond one particle the improvement is minor.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Sec. VI ablation: single vs double precision. The paper compared its
+// single-precision device filters with a double-precision reference and
+// found no meaningful accuracy difference for this model. This bench runs
+// the same distributed configuration in float and double and reports both
+// the estimation error and the update rate.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace esthera;
+
+template <typename T>
+std::pair<double, double> run_precision(const core::FilterConfig& cfg,
+                                        const bench::Protocol& proto) {
+  estimation::ErrorAccumulator err;
+  double total_time = 0.0;
+  std::size_t timed_steps = 0;
+  sim::RobotArmScenario scenario;
+  const std::size_t j = scenario.config().arm.n_joints;
+  std::vector<T> z, u;
+  for (std::size_t r = 0; r < proto.runs; ++r) {
+    scenario.reset(proto.seed + r);
+    core::FilterConfig run_cfg = cfg;
+    run_cfg.seed = cfg.seed + r * 101;
+    core::DistributedParticleFilter<models::RobotArmModel<T>> pf(
+        scenario.make_model<T>(), run_cfg);
+    for (std::size_t k = 0; k < proto.steps; ++k) {
+      const auto step = scenario.advance();
+      z.assign(step.z.begin(), step.z.end());
+      u.assign(step.u.begin(), step.u.end());
+      pf.step(z, u);
+      if (k >= proto.warmup) {
+        const double ex = static_cast<double>(pf.estimate()[j + 0]) - step.truth[j + 0];
+        const double ey = static_cast<double>(pf.estimate()[j + 1]) - step.truth[j + 1];
+        err.add_step(std::vector<double>{ex, ey});
+      }
+    }
+    total_time += pf.timers().total();
+    timed_steps += proto.steps;
+  }
+  return {err.rmse(), static_cast<double>(timed_steps) / total_time};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  bench_util::Cli cli(argc, argv);
+  const auto proto = bench::Protocol::from_cli(cli);
+
+  bench::print_header("Sec. VI ablation (float vs double precision)",
+                      "Same distributed configuration run in both precisions.");
+
+  bench_util::Table table({"config", "float RMSE", "double RMSE", "float Hz",
+                           "double Hz"});
+  for (const std::size_t m : {16u, 64u, 256u}) {
+    core::FilterConfig cfg;
+    cfg.particles_per_filter = m;
+    cfg.num_filters = 4096 / m;
+    cfg.scheme = topology::ExchangeScheme::kRing;
+    const auto [erf, hzf] = run_precision<float>(cfg, proto);
+    const auto [erd, hzd] = run_precision<double>(cfg, proto);
+    table.add_row({"m=" + std::to_string(m) + " N=" + std::to_string(cfg.num_filters),
+                   bench_util::Table::num(erf, 4), bench_util::Table::num(erd, 4),
+                   bench_util::Table::num(hzf, 1), bench_util::Table::num(hzd, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper claim: single precision does not meaningfully change "
+               "estimation accuracy for this model; it is the faster device "
+               "format.\n";
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Related-work comparison (paper Sec. III): the paper's fully-local design
+// (local resampling + ring exchange, the RNA-style organization) against
+// the alternative distributed organizations from the literature it builds
+// on - LDPF (local, no exchange), GDPF (central resampling), CDPF
+// (compressed central resampling), RPA (proportional allocation) - and the
+// Gaussian particle filter. Reports estimation error and update rate.
+//
+// Literature shapes to reproduce: LDPF beats GDPF/CDPF on combined
+// speed+accuracy (Bashi et al.); exchange further improves LDPF (the
+// paper's own Fig 7); the GPF is competitive on this near-unimodal problem
+// but collapses on multimodal ones (demonstrated in the test suite).
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/baseline_filters.hpp"
+#include "core/gaussian_pf.hpp"
+
+namespace {
+
+using namespace esthera;
+
+struct Result {
+  double rmse = 0.0;
+  double hz = 0.0;
+};
+
+template <typename Filter>
+Result run_generic(Filter& pf, sim::RobotArmScenario& scenario,
+                   const bench::Protocol& proto, estimation::ErrorAccumulator& err) {
+  const std::size_t j = scenario.config().arm.n_joints;
+  std::vector<typename Filter::T> z, u;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < proto.steps; ++k) {
+    const auto step = scenario.advance();
+    z.assign(step.z.begin(), step.z.end());
+    u.assign(step.u.begin(), step.u.end());
+    pf.step(z, u);
+    if (k >= proto.warmup) {
+      const double ex = static_cast<double>(pf.estimate()[j + 0]) - step.truth[j + 0];
+      const double ey = static_cast<double>(pf.estimate()[j + 1]) - step.truth[j + 1];
+      err.add_step(std::vector<double>{ex, ey});
+    }
+  }
+  Result r;
+  r.hz = static_cast<double>(proto.steps) /
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+             .count();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  bench_util::Cli cli(argc, argv);
+  const auto proto = bench::Protocol::from_cli(cli);
+  const std::size_t m = cli.get_size("--m", 32);
+  const std::size_t n_filters = cli.get_size("--filters", 64);
+
+  bench::print_header("Related-work baselines (Sec. III)",
+                      "Distributed-PF organizations at equal particle budget "
+                      "on the robot arm.");
+  std::cout << "budget: m=" << m << " x N=" << n_filters << " = " << m * n_filters
+            << " particles; protocol " << proto.runs << " x " << proto.steps
+            << "\n\n";
+
+  bench_util::Table table({"organization", "resampling", "RMSE", "Hz"});
+
+  const auto add = [&](const char* name, const char* where, auto make_filter) {
+    estimation::ErrorAccumulator err;
+    double hz_sum = 0.0;
+    sim::RobotArmScenario scenario;
+    for (std::size_t r = 0; r < proto.runs; ++r) {
+      scenario.reset(proto.seed + r);
+      auto pf = make_filter(scenario, r);
+      hz_sum += run_generic(*pf, scenario, proto, err).hz;
+    }
+    table.add_row({name, where, bench_util::Table::num(err.rmse(), 4),
+                   bench_util::Table::num(hz_sum / proto.runs, 1)});
+  };
+
+  using ArmF = models::RobotArmModel<float>;
+
+  // This paper's design: local resampling + ring exchange (RNA-style).
+  add("this paper (ring, t=1)", "local + exchange", [&](auto& sc, std::size_t r) {
+    core::FilterConfig cfg;
+    cfg.particles_per_filter = m;
+    cfg.num_filters = n_filters;
+    cfg.seed = 7 + r * 31;
+    return std::make_unique<core::DistributedParticleFilter<ArmF>>(
+        sc.template make_model<float>(), cfg);
+  });
+  // LDPF: local resampling, no communication.
+  add("LDPF", "local only", [&](auto& sc, std::size_t r) {
+    core::FilterConfig cfg;
+    cfg.particles_per_filter = m;
+    cfg.num_filters = n_filters;
+    cfg.seed = 7 + r * 31;
+    return std::make_unique<core::DistributedParticleFilter<ArmF>>(
+        sc.template make_model<float>(), core::make_ldpf_config(cfg));
+  });
+  // GDPF / CDPF / RPA.
+  for (const auto kind : {core::BaselineKind::kGdpf, core::BaselineKind::kCdpf,
+                          core::BaselineKind::kRpa}) {
+    const char* where = kind == core::BaselineKind::kGdpf   ? "central"
+                        : kind == core::BaselineKind::kCdpf ? "central (compressed)"
+                                                            : "allocated";
+    add(core::to_string(kind), where, [&, kind](auto& sc, std::size_t r) {
+      core::BaselineOptions opts;
+      opts.kind = kind;
+      opts.seed = 7 + r * 31;
+      return std::make_unique<core::BaselineDistributedFilter<ArmF>>(
+          sc.template make_model<float>(), m, n_filters, opts);
+    });
+  }
+  // Gaussian particle filter at the same particle budget.
+  {
+    estimation::ErrorAccumulator err;
+    double hz_sum = 0.0;
+    sim::RobotArmScenario scenario;
+    const std::size_t j = scenario.config().arm.n_joints;
+    for (std::size_t r = 0; r < proto.runs; ++r) {
+      scenario.reset(proto.seed + r);
+      core::GaussianParticleFilter<models::RobotArmModel<double>> gpf(
+          scenario.make_model<double>(), m * n_filters, 7 + r * 31);
+      std::vector<double> z, u;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t k = 0; k < proto.steps; ++k) {
+        const auto step = scenario.advance();
+        gpf.step(step.z, step.u);
+        if (k >= proto.warmup) {
+          err.add_step(std::vector<double>{gpf.estimate()[j + 0] - step.truth[j + 0],
+                                           gpf.estimate()[j + 1] - step.truth[j + 1]});
+        }
+      }
+      hz_sum += static_cast<double>(proto.steps) /
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                    .count();
+    }
+    table.add_row({"Gaussian PF", "none (refit)", bench_util::Table::num(err.rmse(), 4),
+                   bench_util::Table::num(hz_sum / proto.runs, 1)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nLiterature shapes: the local organizations avoid the central "
+               "resampling bottleneck; exchange closes LDPF's accuracy gap; "
+               "the GPF holds up only while the posterior stays unimodal.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Bearings-only target motion analysis: localize a quietly drifting target
+// from nothing but bearing angles measured by an own-ship orbiting the
+// search area - the sonar-tracking setting the paper's introduction names.
+// Demonstrates a banana-shaped, strongly non-Gaussian posterior where a
+// Kalman-style filter is structurally unsuited and the particle filter's
+// range estimate sharpens as the observer's arc grows.
+//
+//   ./bearings_only_tma
+//   ./bearings_only_tma --particles 8000 --steps 200 --csv tma.csv
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util/cli.hpp"
+#include "core/centralized_pf.hpp"
+#include "estimation/metrics.hpp"
+#include "models/bearings_only.hpp"
+#include "prng/distributions.hpp"
+#include "prng/mt19937.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  bench_util::Cli cli(argc, argv);
+  const std::size_t steps = cli.get_size("--steps", 150);
+  const std::size_t particles = cli.get_size("--particles", 4000);
+
+  models::BearingsOnlyParams<double> params;
+  params.init_mean = {10.0, 10.0, 0.0, 0.0};
+  params.init_std = {4.0, 4.0, 0.1, 0.1};
+  const models::BearingsOnlyModel<double> model(params);
+
+  core::CentralizedOptions opts;
+  opts.estimator = core::EstimatorKind::kWeightedMean;
+  opts.resample = core::ResampleAlgorithm::kSystematic;
+  opts.seed = cli.get_u64("--seed", 11);
+  core::CentralizedParticleFilter<models::BearingsOnlyModel<double>> pf(
+      model, particles, opts);
+
+  prng::Mt19937 rng(static_cast<std::uint32_t>(opts.seed * 2 + 1));
+  prng::NormalSource<double, prng::Mt19937> normal(rng);
+  std::vector<double> truth = {10.0, 10.0, -0.05, -0.02};
+
+  std::ofstream csv;
+  const std::string csv_path = cli.get("--csv", "");
+  if (!csv_path.empty()) {
+    csv.open(csv_path);
+    csv << "step,obs_x,obs_y,truth_x,truth_y,est_x,est_y,error\n";
+  }
+
+  std::printf("Bearings-only TMA: %zu particles, bearing noise %.3f rad\n\n",
+              particles, params.meas_sigma);
+  std::printf("%4s  %-18s %-18s %-18s %8s\n", "step", "observer", "truth",
+              "estimate", "error");
+  estimation::ErrorAccumulator tail;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double ox = 8.0 + 10.0 * std::cos(0.1 * static_cast<double>(k));
+    const double oy = 8.0 + 10.0 * std::sin(0.1 * static_cast<double>(k));
+    // Truth: near-constant-velocity drift.
+    std::vector<double> next(4);
+    const std::vector<double> noise = {normal(), normal()};
+    model.sample_transition(truth, next, {}, noise, k);
+    truth = next;
+    // Measure the bearing from the current own-ship position.
+    models::BearingsOnlyModel<double> sensor = model;
+    sensor.set_observer(ox, oy);
+    std::vector<double> z(1);
+    const std::vector<double> mnoise = {normal()};
+    sensor.sample_measurement(truth, z, mnoise);
+    // Filter with the observer position made known to the model.
+    pf.model_mutable().set_observer(ox, oy);
+    pf.step(z);
+    const double err = std::hypot(pf.estimate()[0] - truth[0],
+                                  pf.estimate()[1] - truth[1]);
+    if (k >= steps - 30) tail.add_scalar(err);
+    if (csv.is_open()) {
+      csv << k << ',' << ox << ',' << oy << ',' << truth[0] << ',' << truth[1]
+          << ',' << pf.estimate()[0] << ',' << pf.estimate()[1] << ',' << err
+          << '\n';
+    }
+    if (k % 20 == 0 || k + 1 == steps) {
+      std::printf("%4zu  (%6.2f, %6.2f)   (%6.2f, %6.2f)   (%6.2f, %6.2f)  %7.3f\n",
+                  k, ox, oy, truth[0], truth[1], pf.estimate()[0], pf.estimate()[1],
+                  err);
+    }
+  }
+  std::printf("\nfinal-30-step position RMSE: %.3f (initial prior sigma: %.1f "
+              "per axis)\n", tail.rmse(), params.init_std[0]);
+  if (csv.is_open()) std::printf("trace written to %s\n", csv_path.c_str());
+  return 0;
+}

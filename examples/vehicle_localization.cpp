@@ -1,0 +1,105 @@
+// Vehicle localization from range-bearing landmark measurements: a 4-state
+// estimation problem of the class the paper describes as small ("up to four
+// state variables... kHz estimation rates"). Runs the distributed particle
+// filter side by side with an extended Kalman filter baseline - the
+// parametric comparator the paper positions particle filters against.
+//
+//   ./vehicle_localization
+//   ./vehicle_localization --steps 400 --m 32 --filters 32
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "bench_util/cli.hpp"
+#include "core/distributed_pf.hpp"
+#include "estimation/kalman.hpp"
+#include "estimation/metrics.hpp"
+#include "models/vehicle.hpp"
+#include "sim/ground_truth.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  bench_util::Cli cli(argc, argv);
+  const std::size_t steps = cli.get_size("--steps", 200);
+
+  const models::VehicleParams<double> params;
+  const models::VehicleModel<double> model(params);
+  sim::ModelSimulator<models::VehicleModel<double>> truth(model,
+                                                          cli.get_u64("--seed", 11));
+
+  core::FilterConfig cfg;
+  cfg.particles_per_filter = cli.get_size("--m", 32);
+  cfg.num_filters = cli.get_size("--filters", 16);
+  cfg.seed = 3;
+  cfg.validate();
+  core::DistributedParticleFilter<models::VehicleModel<double>> pf(model, cfg);
+
+  // EKF baseline over the same dynamics/measurements.
+  estimation::Matrix q(4, 4), r(2 * params.landmarks.size(),
+                                2 * params.landmarks.size());
+  q(0, 0) = params.sigma_pos * params.sigma_pos;
+  q(1, 1) = params.sigma_pos * params.sigma_pos;
+  q(2, 2) = params.sigma_speed * params.sigma_speed;
+  q(3, 3) = params.sigma_heading * params.sigma_heading;
+  for (std::size_t l = 0; l < params.landmarks.size(); ++l) {
+    r(2 * l, 2 * l) = params.meas_sigma_range * params.meas_sigma_range;
+    r(2 * l + 1, 2 * l + 1) = params.meas_sigma_bearing * params.meas_sigma_bearing;
+  }
+  estimation::Matrix p0(4, 4);
+  for (std::size_t d = 0; d < 4; ++d) {
+    p0(d, d) = params.init_std[d] * params.init_std[d];
+  }
+  std::vector<double> u_step(2, 0.0);
+  estimation::ExtendedKalmanFilter ekf(
+      [&](std::span<const double> x, std::span<const double> u, std::size_t step) {
+        std::vector<double> next(4);
+        const std::vector<double> zero(4, 0.0);
+        model.sample_transition(x, next, u, zero, step);
+        return next;
+      },
+      [&](std::span<const double> x) {
+        std::vector<double> z(model.measurement_dim());
+        model.measure(x, z);
+        return z;
+      },
+      q, r, params.init_mean, p0);
+  // Bearing channels are circular: the EKF innovation must be wrapped.
+  ekf.set_innovation([&](std::span<const double> z, std::span<const double> zh) {
+    std::vector<double> innovation(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      const double d = z[i] - zh[i];
+      innovation[i] =
+          (i % 2 == 1) ? models::VehicleModel<double>::wrap_angle(d) : d;
+    }
+    return innovation;
+  });
+
+  estimation::ErrorAccumulator pf_err, ekf_err;
+  std::printf("%4s  %-22s %-22s %-22s\n", "step", "truth (x, y)", "PF estimate",
+              "EKF estimate");
+  for (std::size_t k = 0; k < steps; ++k) {
+    // Gentle accelerating left turn.
+    u_step[0] = 0.02;
+    u_step[1] = 0.08 * std::sin(2.0 * std::numbers::pi * static_cast<double>(k) / 120.0);
+    const auto step = truth.advance(u_step);
+    pf.step(step.z, u_step);
+    ekf.predict(u_step);
+    ekf.update(step.z);
+    pf_err.add_step(std::vector<double>{pf.estimate()[0] - step.truth[0],
+                                        pf.estimate()[1] - step.truth[1]});
+    ekf_err.add_step(std::vector<double>{ekf.state()[0] - step.truth[0],
+                                         ekf.state()[1] - step.truth[1]});
+    if (k % 25 == 0) {
+      std::printf("%4zu  (%7.3f, %7.3f)    (%7.3f, %7.3f)    (%7.3f, %7.3f)\n", k,
+                  step.truth[0], step.truth[1], pf.estimate()[0], pf.estimate()[1],
+                  ekf.state()[0], ekf.state()[1]);
+    }
+  }
+  std::printf("\nposition RMSE over %zu steps:  PF %.4f m   EKF %.4f m\n", steps,
+              pf_err.rmse(), ekf_err.rmse());
+  std::printf("PF update rate: %.1f Hz\n",
+              static_cast<double>(steps) / pf.timers().total());
+  std::printf("\nOn this mildly nonlinear problem both filters track; bimodal "
+              "or heavy-tailed variants are where the PF pulls ahead.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "bench_util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace esthera::bench_util {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    Option opt;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opt.name = arg.substr(0, eq);
+      opt.value = arg.substr(eq + 1);
+      opt.has_value = true;
+    } else {
+      opt.name = arg;
+      // A following token that is not itself a flag is this option's value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        opt.value = argv[++i];
+        opt.has_value = true;
+      }
+    }
+    options_.push_back(std::move(opt));
+  }
+}
+
+const Cli::Option* Cli::find(const std::string& name) const {
+  for (const auto& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+bool Cli::has(const std::string& name) const { return find(name) != nullptr; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const Option* o = find(name);
+  return (o && o->has_value) ? o->value : fallback;
+}
+
+std::size_t Cli::get_size(const std::string& name, std::size_t fallback) const {
+  const Option* o = find(name);
+  return (o && o->has_value) ? static_cast<std::size_t>(std::stoull(o->value))
+                             : fallback;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const Option* o = find(name);
+  return (o && o->has_value) ? std::stod(o->value) : fallback;
+}
+
+std::uint64_t Cli::get_u64(const std::string& name, std::uint64_t fallback) const {
+  const Option* o = find(name);
+  return (o && o->has_value) ? std::stoull(o->value) : fallback;
+}
+
+bool Cli::full_scale() const {
+  if (has("--full")) return true;
+  if (const char* env = std::getenv("ESTHERA_FULL")) {
+    return env[0] == '1' || env[0] == 'y' || env[0] == 't';
+  }
+  return false;
+}
+
+}  // namespace esthera::bench_util

@@ -1,0 +1,48 @@
+// Minimal command-line / environment option parsing shared by the bench
+// binaries. Every bench runs stand-alone with defaults sized for a laptop;
+// `--full` (or ESTHERA_FULL=1) widens sweeps to the paper's full ranges,
+// and individual flags override single knobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esthera::bench_util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// True when `--name` was passed (as a bare flag or with a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name=value` or `--name value`; `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& name, std::size_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                      std::uint64_t fallback) const;
+
+  /// True when the full paper-scale sweep was requested (--full or
+  /// ESTHERA_FULL=1 in the environment).
+  [[nodiscard]] bool full_scale() const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  struct Option {
+    std::string name;
+    std::string value;
+    bool has_value = false;
+  };
+
+  [[nodiscard]] const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::vector<Option> options_;
+};
+
+}  // namespace esthera::bench_util

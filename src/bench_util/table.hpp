@@ -1,0 +1,39 @@
+// Aligned-table and CSV output for the benchmark harnesses, so every bench
+// binary prints the rows/series of the paper figure it regenerates in a
+// uniform format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esthera::bench_util {
+
+/// Collects rows of string cells and prints them column-aligned, plus an
+/// optional CSV dump for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells print empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+
+  /// Writes the aligned table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV to `os`.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace esthera::bench_util

@@ -1,0 +1,277 @@
+// The sequential, centralized particle filter (paper Algorithm 1 and
+// Sec. VI: "we have also implemented a sequential, centralized particle
+// filter ... as a reference"). It is the accuracy oracle for the
+// distributed filter (Fig 9) and the sequential baseline of Fig 3/Fig 5.
+// Vose's alias method is its default resampler, the faster choice for a
+// large centralized filter (Fig 5).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/particle_store.hpp"
+#include "core/stage_timers.hpp"
+#include "models/model.hpp"
+#include "prng/distributions.hpp"
+#include "prng/mt19937.hpp"
+#include "resample/ess.hpp"
+#include "resample/rws.hpp"
+#include "resample/systematic.hpp"
+#include "resample/vose.hpp"
+#include "sortnet/bitonic.hpp"
+
+namespace esthera::core {
+
+struct CentralizedOptions {
+  ResampleAlgorithm resample = ResampleAlgorithm::kVose;
+  resample::ResamplePolicy policy = resample::ResamplePolicy::always();
+  EstimatorKind estimator = EstimatorKind::kMaxWeight;
+  std::uint64_t seed = 42;
+
+  /// FRIM (finite-redraw importance-maximizing) sampling, after Chao et
+  /// al. [19]: a drawn particle whose log-likelihood falls below
+  /// `frim_floor` is rejected and redrawn, up to `frim_redraws` times
+  /// (bounded, as required for real-time use). 0 disables FRIM. The floor
+  /// is an absolute log-likelihood; the bundled models drop additive
+  /// constants so their maximum is 0 and a floor like -20 is meaningful.
+  std::size_t frim_redraws = 0;
+  double frim_floor = -20.0;
+
+  /// Resample-move (Gilks & Berzuini): after resampling, each particle
+  /// takes `move_steps` Metropolis-Hastings steps targeting
+  /// p(x_k | x_{k-1}^parent, z_k), proposing fresh draws from the
+  /// transition kernel of its parent's predecessor state (a valid
+  /// independence proposal, accepted with min(1, p(z|y)/p(z|x))).
+  /// Rejuvenates the duplicates resampling creates. 0 disables the move.
+  std::size_t move_steps = 0;
+};
+
+/// Sequential SIR particle filter over any SystemModel.
+template <typename Model>
+  requires models::SystemModel<Model>
+class CentralizedParticleFilter {
+ public:
+  using T = typename Model::Scalar;
+
+  CentralizedParticleFilter(Model model, std::size_t n_particles,
+                            CentralizedOptions options = {})
+      : model_(std::move(model)),
+        opts_(options),
+        n_(n_particles),
+        cur_(n_particles, model_.state_dim()),
+        aux_(n_particles, model_.state_dim()),
+        rng_(static_cast<std::uint32_t>((options.seed ^ (options.seed >> 32)) | 1u)),
+        weights_(n_particles),
+        cumsum_(n_particles),
+        indices_(n_particles),
+        noise_(std::max(model_.noise_dim(), model_.init_noise_dim())),
+        estimate_(model_.state_dim(), T(0)) {
+    assert(n_ > 0);
+    initialize();
+  }
+
+  /// Draws the initial particle population from the model's prior.
+  void initialize() {
+    prng::NormalSource<T, prng::Mt19937> normal(rng_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t d = 0; d < model_.init_noise_dim(); ++d) noise_[d] = normal();
+      model_.sample_initial(cur_.state(i), noise_);
+      cur_.log_weights()[i] = T(0);
+    }
+    step_ = 0;
+    update_estimate();
+  }
+
+  /// One filtering round: sample / weigh / estimate / (conditionally)
+  /// resample, consuming measurement `z` under control `u`.
+  void step(std::span<const T> z, std::span<const T> u = {}) {
+    {
+      ScopedStageTimer timer(timers_, Stage::kSampling);
+      if (opts_.move_steps > 0) {
+        // Keep x_{k-1}: the move step proposes fresh transitions from the
+        // predecessor of each resampled particle's parent.
+        prev_.assign(cur_.raw_state().begin(), cur_.raw_state().end());
+      }
+      prng::NormalSource<T, prng::Mt19937> normal(rng_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        T loglik = T(0);
+        for (std::size_t redraw = 0;; ++redraw) {
+          for (std::size_t d = 0; d < model_.noise_dim(); ++d) noise_[d] = normal();
+          model_.sample_transition(cur_.state(i), aux_.state(i), u, noise_, step_);
+          loglik = model_.log_likelihood(aux_.state(i), z);
+          // FRIM: bounded rejection of negligible-weight draws.
+          if (redraw >= opts_.frim_redraws ||
+              static_cast<double>(loglik) >= opts_.frim_floor) {
+            break;
+          }
+        }
+        aux_.log_weights()[i] = cur_.log_weights()[i] + loglik;
+      }
+      cur_.swap(aux_);
+    }
+    {
+      ScopedStageTimer timer(timers_, Stage::kGlobalEstimate);
+      update_estimate();
+    }
+    {
+      ScopedStageTimer timer(timers_, Stage::kResampling);
+      const bool resampled = maybe_resample();
+      if (resampled && opts_.move_steps > 0) {
+        apply_move_steps(z, u);
+      }
+    }
+    ++step_;
+  }
+
+  [[nodiscard]] std::span<const T> estimate() const { return estimate_; }
+  [[nodiscard]] double ess() const { return ess_; }
+
+  /// Acceptance rate of the resample-move MH steps so far (0 when unused).
+  [[nodiscard]] double move_acceptance_rate() const {
+    return move_proposals_ > 0
+               ? static_cast<double>(move_accepts_) /
+                     static_cast<double>(move_proposals_)
+               : 0.0;
+  }
+  [[nodiscard]] std::size_t particle_count() const { return n_; }
+  [[nodiscard]] std::size_t step_index() const { return step_; }
+  [[nodiscard]] const Model& model() const { return model_; }
+  /// Mutable model access for time-varying model state (e.g. the
+  /// bearings-only observer position, updated before each step()).
+  [[nodiscard]] Model& model_mutable() { return model_; }
+  [[nodiscard]] StageTimers& timers() { return timers_; }
+  [[nodiscard]] const ParticleStore<T>& particles() const { return cur_; }
+
+ private:
+  /// Converts log-weights to max-normalized linear weights in `weights_`
+  /// and returns the index of the best particle.
+  std::size_t normalize_weights() {
+    const auto lw = cur_.log_weights();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (lw[i] > lw[best]) best = i;
+    }
+    const T max_lw = lw[best];
+    for (std::size_t i = 0; i < n_; ++i) weights_[i] = std::exp(lw[i] - max_lw);
+    return best;
+  }
+
+  void update_estimate() {
+    const std::size_t best = normalize_weights();
+    if (opts_.estimator == EstimatorKind::kMaxWeight) {
+      const auto s = cur_.state(best);
+      estimate_.assign(s.begin(), s.end());
+    } else {
+      T wsum = T(0);
+      std::fill(estimate_.begin(), estimate_.end(), T(0));
+      for (std::size_t i = 0; i < n_; ++i) {
+        const T w = weights_[i];
+        wsum += w;
+        const auto s = cur_.state(i);
+        for (std::size_t d = 0; d < estimate_.size(); ++d) estimate_[d] += w * s[d];
+      }
+      for (auto& v : estimate_) v /= wsum;
+    }
+    ess_ = static_cast<double>(
+        resample::effective_sample_size(std::span<const T>(weights_)));
+  }
+
+  /// Returns true when the population was resampled this round.
+  bool maybe_resample() {
+    const double u = prng::uniform01<double>(rng_);
+    if (!resample::should_resample(opts_.policy, ess_ / static_cast<double>(n_), u)) {
+      return false;
+    }
+    auto out = std::span<std::uint32_t>(indices_);
+    const auto w = std::span<const T>(weights_);
+    switch (opts_.resample) {
+      case ResampleAlgorithm::kRws: {
+        fill_uniforms(n_);
+        resample::rws_resample<T>(w, uniform_scratch(), out, cumsum_);
+        break;
+      }
+      case ResampleAlgorithm::kVose: {
+        resample::vose_build<T>(w, alias_);
+        fill_uniforms(2 * n_);
+        resample::vose_sample<T>(alias_, uniform_scratch(), out);
+        break;
+      }
+      case ResampleAlgorithm::kSystematic: {
+        resample::systematic_resample<T>(w, prng::uniform01<T>(rng_), out, cumsum_);
+        break;
+      }
+      case ResampleAlgorithm::kStratified: {
+        fill_uniforms(n_);
+        resample::stratified_resample<T>(w, uniform_scratch(), out, cumsum_);
+        break;
+      }
+    }
+    sortnet::gather_rows<T, std::uint32_t>(cur_.raw_state(), aux_.raw_state(),
+                                           out, model_.state_dim());
+    for (std::size_t i = 0; i < n_; ++i) aux_.log_weights()[i] = T(0);
+    cur_.swap(aux_);
+    return true;
+  }
+
+  /// Resample-move rejuvenation: MH steps with the transition kernel from
+  /// the parent's predecessor as independence proposal.
+  void apply_move_steps(std::span<const T> z, std::span<const T> u) {
+    const std::size_t dim = model_.state_dim();
+    prng::NormalSource<T, prng::Mt19937> normal(rng_);
+    std::vector<T> proposal(dim);
+    move_proposals_ += n_ * opts_.move_steps;
+    for (std::size_t i = 0; i < n_; ++i) {
+      // indices_[i] is particle i's parent in the pre-resampling
+      // population; sampling was 1:1, so prev_ holds its predecessor.
+      const std::size_t parent = indices_[i];
+      std::span<const T> pred(prev_.data() + parent * dim, dim);
+      T current_ll = model_.log_likelihood(cur_.state(i), z);
+      for (std::size_t s = 0; s < opts_.move_steps; ++s) {
+        for (std::size_t d = 0; d < model_.noise_dim(); ++d) noise_[d] = normal();
+        model_.sample_transition(pred, proposal, u, noise_, step_);
+        const T proposal_ll = model_.log_likelihood(proposal, z);
+        const T log_accept = proposal_ll - current_ll;
+        if (log_accept >= T(0) ||
+            prng::uniform01<T>(rng_) < std::exp(log_accept)) {
+          std::copy(proposal.begin(), proposal.end(), cur_.state(i).begin());
+          current_ll = proposal_ll;
+          ++move_accepts_;
+        }
+      }
+    }
+  }
+
+  void fill_uniforms(std::size_t count) {
+    uniforms_.resize(count);
+    for (auto& v : uniforms_) v = prng::uniform01<T>(rng_);
+  }
+
+  [[nodiscard]] std::span<const T> uniform_scratch() const { return uniforms_; }
+
+  Model model_;
+  CentralizedOptions opts_;
+  std::size_t n_;
+  ParticleStore<T> cur_;
+  ParticleStore<T> aux_;
+  prng::Mt19937 rng_;
+  std::vector<T> weights_;
+  std::vector<T> cumsum_;
+  std::vector<std::uint32_t> indices_;
+  std::vector<T> uniforms_;
+  std::vector<T> noise_;
+  std::vector<T> estimate_;
+  resample::AliasTable<T> alias_;
+  std::vector<T> prev_;  // x_{k-1} copy for the resample-move step
+  StageTimers timers_;
+  double ess_ = 0.0;
+  std::size_t step_ = 0;
+  std::size_t move_accepts_ = 0;
+  std::size_t move_proposals_ = 0;
+};
+
+}  // namespace esthera::core

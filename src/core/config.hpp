@@ -1,0 +1,79 @@
+// Distributed-filter configuration: exactly the parameter set of the
+// paper's Table I (particles per sub-filter m, number of sub-filters N,
+// exchange scheme X, particles per exchange t) plus the implementation
+// choices the paper evaluates (resampling algorithm, resampling policy,
+// estimate operator, PRNG core) and Table II's defaults.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "prng/mtgp_stream.hpp"
+#include "resample/ess.hpp"
+#include "topology/topology.hpp"
+
+namespace esthera::core {
+
+/// Which resampling algorithm a (sub-)filter runs (paper Sec. IV/VI-F).
+enum class ResampleAlgorithm : std::uint8_t {
+  kRws,         ///< Roulette Wheel Selection: prefix sum + binary search
+  kVose,        ///< Vose's alias method (in-place device construction)
+  kSystematic,  ///< low-variance comb (extension)
+  kStratified,  ///< one draw per stratum (extension)
+};
+
+[[nodiscard]] const char* to_string(ResampleAlgorithm a);
+[[nodiscard]] ResampleAlgorithm parse_resample_algorithm(const std::string& name);
+
+/// How the global estimate is reduced from the particle set (Sec. IV: "we
+/// select the particle with the highest global weight"; the weighted mean
+/// is the usual alternative).
+enum class EstimatorKind : std::uint8_t {
+  kMaxWeight,
+  kWeightedMean,
+};
+
+[[nodiscard]] const char* to_string(EstimatorKind e);
+[[nodiscard]] EstimatorKind parse_estimator(const std::string& name);
+
+/// Full distributed-filter configuration (Table I + implementation knobs).
+struct FilterConfig {
+  std::size_t particles_per_filter = 512;  ///< m; power of two (Table II GPU: 512)
+  std::size_t num_filters = 1024;          ///< N (Table II: 1024)
+  topology::ExchangeScheme scheme = topology::ExchangeScheme::kRing;  ///< X
+  std::size_t exchange_particles = 1;      ///< t (Table II: 1)
+  ResampleAlgorithm resample = ResampleAlgorithm::kRws;
+  resample::ResamplePolicy policy = resample::ResamplePolicy::always();
+  EstimatorKind estimator = EstimatorKind::kMaxWeight;
+  prng::Generator generator = prng::Generator::kMtgp;
+  std::uint64_t seed = 42;
+  std::size_t workers = 0;  ///< emulator worker threads; 0 = auto
+
+  /// Gordon-style roughening: after each local resampling, every particle
+  /// is jittered per dimension by N(0, (k * E_d * m^{-1/dim})^2) where E_d
+  /// is the dimension's value range within the sub-filter. Restores the
+  /// diversity that resampling duplicates destroy - the same failure mode
+  /// behind the paper's All-to-All result, attacked from the other side.
+  /// 0 disables roughening (the paper's configuration).
+  double roughening_k = 0.0;
+
+  [[nodiscard]] std::size_t total_particles() const {
+    return particles_per_filter * num_filters;
+  }
+
+  /// Throws std::invalid_argument when the configuration is inconsistent
+  /// (m not a power of two, exchange volume >= m, ...).
+  void validate() const;
+
+  /// One-line human-readable summary for benchmark headers.
+  [[nodiscard]] std::string summary() const;
+
+  /// Table II defaults for the GPU-class device path (m=512, N=1024, Ring, t=1).
+  [[nodiscard]] static FilterConfig table2_gpu_defaults();
+
+  /// Table II defaults for the CPU-class path (m=64, same network).
+  [[nodiscard]] static FilterConfig table2_cpu_defaults();
+};
+
+}  // namespace esthera::core

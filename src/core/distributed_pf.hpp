@@ -1,0 +1,483 @@
+// The fully distributed particle filter (paper Algorithm 2, Sec. IV): a
+// network of small sub-filters, each owned by one work group of the
+// emulated many-core device. Every round runs six device kernels, each a
+// global-barrier-separated launch exactly as in the paper (Sec. VI):
+//
+//   1. PRNG                  - per-group MTGP/Philox streams fill a buffer
+//   2. sampling + weighting  - one lane per particle
+//   3. local sort            - bitonic network on (weight, index) pairs
+//   4. global estimate       - local reductions + final host rounds
+//   5. particle exchange     - top-t per neighbour pair (Ring / 2D Torus)
+//                              or pooled global top-t (All-to-All)
+//   6. resampling            - local RWS or Vose per sub-filter
+//
+// Host <-> device traffic is limited to the measurement, the control input
+// and the estimate, the property the paper calls essential for running
+// millions of particles (Sec. VI).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/particle_store.hpp"
+#include "core/stage_timers.hpp"
+#include "device/device.hpp"
+#include "models/model.hpp"
+#include "prng/mtgp_stream.hpp"
+#include "resample/ess.hpp"
+#include "resample/rws.hpp"
+#include "resample/systematic.hpp"
+#include "resample/vose.hpp"
+#include "sortnet/bitonic.hpp"
+#include "sortnet/scan.hpp"
+
+namespace esthera::core {
+
+/// Distributed (networked sub-filter) SIR particle filter over any
+/// SystemModel, running on the emulated many-core device.
+template <typename Model>
+  requires models::SystemModel<Model>
+class DistributedParticleFilter {
+ public:
+  using T = typename Model::Scalar;
+
+  /// Owns its device, sized from `config.workers` (0 = auto).
+  DistributedParticleFilter(Model model, FilterConfig config)
+      : DistributedParticleFilter(std::move(model), config,
+                                  std::make_unique<device::Device>(config.workers)) {}
+
+  /// Runs on an externally provided device (shared across filters).
+  DistributedParticleFilter(Model model, FilterConfig config,
+                            std::shared_ptr<device::Device> dev)
+      : DistributedParticleFilter(std::move(model), config,
+                                  std::unique_ptr<device::Device>{}, std::move(dev)) {}
+
+  [[nodiscard]] const FilterConfig& config() const { return cfg_; }
+  [[nodiscard]] const Model& model() const { return model_; }
+  /// Mutable model access for time-varying model state (e.g. observer
+  /// positions); update before step().
+  [[nodiscard]] Model& model_mutable() { return model_; }
+  [[nodiscard]] std::size_t particle_count() const { return n_total_; }
+  [[nodiscard]] std::size_t step_index() const { return step_; }
+  [[nodiscard]] std::span<const T> estimate() const { return estimate_; }
+  [[nodiscard]] StageTimers& timers() { return timers_; }
+  [[nodiscard]] device::Device& dev() { return *dev_; }
+
+  /// Local (per-sub-filter) estimate: the best particle of group g.
+  [[nodiscard]] std::span<const T> local_estimate(std::size_t g) const {
+    return cur_.state(g * m_);
+  }
+
+  /// Log-weight of the current global estimate (valid for the max-weight
+  /// estimator after at least one step; used by the cluster layer to pick
+  /// the best node-level estimate).
+  [[nodiscard]] T estimate_log_weight() const { return estimate_lw_; }
+
+  /// Injects an externally supplied particle (e.g. from another cluster
+  /// node) into group `group`, replacing that group's last particle slot.
+  /// Takes effect in the next round's sampling.
+  void inject(std::span<const T> state, T log_weight, std::size_t group) {
+    assert(state.size() == dim_ && group < n_filters_);
+    auto dst = cur_.state(group * m_ + m_ - 1);
+    std::copy(state.begin(), state.end(), dst.begin());
+    cur_.log_weights()[group * m_ + m_ - 1] = log_weight;
+  }
+
+  /// Mean effective sample size across sub-filters, for diagnostics
+  /// (computed during the last resampling stage).
+  [[nodiscard]] double mean_ess() const {
+    return n_filters_ ? ess_sum_ / static_cast<double>(n_filters_) : 0.0;
+  }
+
+  /// Mean fraction of distinct parents chosen by the last resampling round
+  /// across sub-filters: 1.0 = no duplication, 1/m = full collapse onto a
+  /// single ancestor. This is the particle-diversity signal behind the
+  /// paper's All-to-All finding (Fig 6a). 0 before any resampling round.
+  [[nodiscard]] double mean_unique_parent_fraction() const {
+    return n_filters_ ? unique_sum_ / static_cast<double>(n_filters_) : 0.0;
+  }
+
+  /// Re-draws the initial particle population from the model's prior.
+  void initialize() {
+    stream_.fill(dev_->pool(), rand_);
+    const std::size_t ind = model_.init_noise_dim();
+    dev_->launch(n_filters_, [&](std::size_t g) {
+      const auto normals = rand_.group_normals(g);
+      for (std::size_t p = 0; p < m_; ++p) {
+        const std::size_t i = g * m_ + p;
+        model_.sample_initial(cur_.state(i), normals.subspan(p * ind, ind));
+        cur_.log_weights()[i] = T(0);
+      }
+    });
+    step_ = 0;
+    // Estimate before the first measurement: particle 0's state (all
+    // particles are prior draws; there is no weight information yet).
+    const auto s = cur_.state(0);
+    estimate_.assign(s.begin(), s.end());
+  }
+
+  /// One filtering round (Algorithm 2) on measurement `z`, control `u`.
+  void step(std::span<const T> z, std::span<const T> u = {}) {
+    run_rand();
+    run_sampling(z, u);
+    run_local_sort();
+    run_global_estimate();
+    run_exchange();
+    run_resampling();
+    ++step_;
+  }
+
+ private:
+  DistributedParticleFilter(Model model, FilterConfig config,
+                            std::unique_ptr<device::Device> owned,
+                            std::shared_ptr<device::Device> shared = nullptr)
+      : model_(std::move(model)),
+        cfg_(config),
+        owned_dev_(std::move(owned)),
+        shared_dev_(std::move(shared)),
+        dev_(shared_dev_ ? shared_dev_.get() : owned_dev_.get()),
+        m_(cfg_.particles_per_filter),
+        n_filters_(cfg_.num_filters),
+        n_total_(cfg_.total_particles()),
+        dim_(model_.state_dim()),
+        stream_(n_filters_, cfg_.seed, cfg_.generator),
+        cur_(n_total_, dim_),
+        aux_(n_total_, dim_),
+        sort_keys_(n_total_),
+        sort_idx_(n_total_),
+        weights_(n_total_),
+        cumsum_(n_total_),
+        alias_prob_(n_total_),
+        alias_idx_(n_total_),
+        vose_scaled_(n_total_),
+        vose_slots_(n_total_),
+        resample_out_(n_total_),
+        local_best_lw_(n_filters_),
+        group_wsum_(n_filters_),
+        group_wstate_(n_filters_ * dim_),
+        estimate_(dim_, T(0)) {
+    cfg_.validate();
+    // Normals per group: enough for one transition (or initial) draw per
+    // particle, plus one jitter vector per particle when roughening is on.
+    // Uniforms per group: worst-case resampler demand (Vose: 2 per draw)
+    // plus one policy coin.
+    roughening_offset_ = m_ * std::max(model_.noise_dim(), model_.init_noise_dim());
+    const std::size_t npg =
+        roughening_offset_ + (cfg_.roughening_k > 0.0 ? m_ * dim_ : 0);
+    const std::size_t upg = 2 * m_ + 1;
+    rand_.resize(n_filters_, npg, upg);
+    build_neighbor_lists();
+    const std::size_t box = n_filters_ * cfg_.exchange_particles;
+    outbox_state_.resize(box * dim_);
+    outbox_lw_.resize(box);
+    pool_top_.resize(cfg_.exchange_particles);
+    initialize();
+  }
+
+  void build_neighbor_lists() {
+    neighbors_.resize(n_filters_);
+    for (std::size_t g = 0; g < n_filters_; ++g) {
+      neighbors_[g] = topology::neighbors(cfg_.scheme, n_filters_,
+                                          static_cast<std::uint32_t>(g));
+    }
+  }
+
+  void run_rand() {
+    ScopedStageTimer timer(timers_, Stage::kRand);
+    stream_.fill(dev_->pool(), rand_);
+  }
+
+  void run_sampling(std::span<const T> z, std::span<const T> u) {
+    ScopedStageTimer timer(timers_, Stage::kSampling);
+    const std::size_t nd = model_.noise_dim();
+    dev_->launch(n_filters_, [&](std::size_t g) {
+      const auto normals = rand_.group_normals(g);
+      for (std::size_t p = 0; p < m_; ++p) {
+        const std::size_t i = g * m_ + p;
+        model_.sample_transition(cur_.state(i), aux_.state(i), u,
+                                 normals.subspan(p * nd, nd), step_);
+        aux_.log_weights()[i] =
+            cur_.log_weights()[i] + model_.log_likelihood(aux_.state(i), z);
+      }
+    });
+    cur_.swap(aux_);
+  }
+
+  void run_local_sort() {
+    ScopedStageTimer timer(timers_, Stage::kLocalSort);
+    dev_->launch(n_filters_, [&](std::size_t g) {
+      const std::size_t base = g * m_;
+      auto keys = std::span<T>(sort_keys_).subspan(base, m_);
+      auto idx = std::span<std::uint32_t>(sort_idx_).subspan(base, m_);
+      const auto lw = cur_.log_weights(base, m_);
+      for (std::size_t p = 0; p < m_; ++p) {
+        keys[p] = lw[p];
+        idx[p] = static_cast<std::uint32_t>(p);
+      }
+      // Descending: the best particle lands at local index 0.
+      sortnet::bitonic_sort_by_key<T, std::uint32_t>(keys, idx, std::greater<T>());
+      // Apply the permutation: gather states (non-contiguous reads,
+      // contiguous writes) and the log-weights into the aux store.
+      sortnet::gather_rows<T, std::uint32_t>(cur_.state_block(base, m_),
+                                             aux_.state_block(base, m_), idx, dim_);
+      auto lw_out = aux_.log_weights(base, m_);
+      for (std::size_t p = 0; p < m_; ++p) lw_out[p] = keys[p];
+    });
+    cur_.swap(aux_);
+  }
+
+  void run_global_estimate() {
+    ScopedStageTimer timer(timers_, Stage::kGlobalEstimate);
+    if (cfg_.estimator == EstimatorKind::kMaxWeight) {
+      dev_->launch(n_filters_, [&](std::size_t g) {
+        local_best_lw_[g] = cur_.log_weights()[g * m_];  // sorted: best first
+      });
+      const std::size_t best_g =
+          sortnet::reduce_max_index(std::span<const T>(local_best_lw_));
+      const auto s = cur_.state(best_g * m_);
+      estimate_.assign(s.begin(), s.end());
+      estimate_lw_ = local_best_lw_[best_g];
+      return;
+    }
+    // Weighted mean: per-group partial sums with local max-normalization,
+    // combined on the host with a global max correction.
+    dev_->launch(n_filters_, [&](std::size_t g) {
+      const std::size_t base = g * m_;
+      const auto lw = cur_.log_weights(base, m_);
+      const T local_max = lw[0];
+      local_best_lw_[g] = local_max;
+      T wsum = T(0);
+      auto wstate = std::span<T>(group_wstate_).subspan(g * dim_, dim_);
+      std::fill(wstate.begin(), wstate.end(), T(0));
+      for (std::size_t p = 0; p < m_; ++p) {
+        const T w = std::exp(lw[p] - local_max);
+        wsum += w;
+        const auto s = cur_.state(base + p);
+        for (std::size_t d = 0; d < dim_; ++d) wstate[d] += w * s[d];
+      }
+      group_wsum_[g] = wsum;
+    });
+    const std::size_t best_g =
+        sortnet::reduce_max_index(std::span<const T>(local_best_lw_));
+    const T global_max = local_best_lw_[best_g];
+    estimate_lw_ = global_max;
+    T wsum = T(0);
+    std::fill(estimate_.begin(), estimate_.end(), T(0));
+    for (std::size_t g = 0; g < n_filters_; ++g) {
+      const T scale = std::exp(local_best_lw_[g] - global_max);
+      if (scale <= T(0)) continue;
+      wsum += scale * group_wsum_[g];
+      for (std::size_t d = 0; d < dim_; ++d) {
+        estimate_[d] += scale * group_wstate_[g * dim_ + d];
+      }
+    }
+    if (wsum > T(0)) {
+      for (auto& v : estimate_) v /= wsum;
+    }
+  }
+
+  void run_exchange() {
+    const std::size_t t = cfg_.exchange_particles;
+    if (cfg_.scheme == topology::ExchangeScheme::kNone || t == 0 || n_filters_ < 2) {
+      return;
+    }
+    ScopedStageTimer timer(timers_, Stage::kExchange);
+    // Phase A: every sub-filter publishes its top-t (sorted: the first t).
+    dev_->launch(n_filters_, [&](std::size_t g) {
+      const std::size_t base = g * m_;
+      for (std::size_t k = 0; k < t; ++k) {
+        const auto s = cur_.state(base + k);
+        std::copy(s.begin(), s.end(),
+                  outbox_state_.begin() + static_cast<std::ptrdiff_t>((g * t + k) * dim_));
+        outbox_lw_[g * t + k] = cur_.log_weights()[base + k];
+      }
+    });
+    if (topology::is_pooled(cfg_.scheme)) {
+      // All-to-All: the pooled kernel selects the same global top-t for
+      // every sub-filter ("all sub-filters read back the same t best
+      // particles from the supplied set").
+      std::iota(pool_order_.begin(), pool_order_.end(), std::uint32_t{0});
+      if (pool_order_.size() != outbox_lw_.size()) {
+        pool_order_.resize(outbox_lw_.size());
+        std::iota(pool_order_.begin(), pool_order_.end(), std::uint32_t{0});
+      }
+      std::partial_sort(pool_order_.begin(),
+                        pool_order_.begin() + static_cast<std::ptrdiff_t>(t),
+                        pool_order_.end(), [&](std::uint32_t a, std::uint32_t b) {
+                          return outbox_lw_[a] > outbox_lw_[b];
+                        });
+      std::copy_n(pool_order_.begin(), t, pool_top_.begin());
+      dev_->launch(n_filters_, [&](std::size_t g) {
+        const std::size_t base = g * m_;
+        for (std::size_t k = 0; k < t; ++k) {
+          const std::uint32_t src = pool_top_[k];
+          write_particle(base + m_ - 1 - k, src);
+        }
+      });
+      return;
+    }
+    // Phase B: pairwise schemes; each sub-filter pulls its neighbours'
+    // published particles and overwrites its own worst ones.
+    dev_->launch(n_filters_, [&](std::size_t g) {
+      const std::size_t base = g * m_;
+      std::size_t slot = 0;
+      for (const std::uint32_t q : neighbors_[g]) {
+        for (std::size_t k = 0; k < t; ++k) {
+          write_particle(base + m_ - 1 - slot, q * t + static_cast<std::uint32_t>(k));
+          ++slot;
+        }
+      }
+    });
+  }
+
+  /// Copies outbox particle `src` into particle slot `dst` of cur_.
+  void write_particle(std::size_t dst, std::uint32_t src) {
+    const T* s = outbox_state_.data() + static_cast<std::size_t>(src) * dim_;
+    auto d = cur_.state(dst);
+    std::copy(s, s + dim_, d.begin());
+    cur_.log_weights()[dst] = outbox_lw_[src];
+  }
+
+  void run_resampling() {
+    ScopedStageTimer timer(timers_, Stage::kResampling);
+    std::vector<double> group_ess(n_filters_);
+    std::vector<double> group_unique(n_filters_, 1.0);
+    dev_->launch(n_filters_, [&](std::size_t g) {
+      const std::size_t base = g * m_;
+      const auto lw = cur_.log_weights(base, m_);
+      auto w = std::span<T>(weights_).subspan(base, m_);
+      // Exchange may have placed a heavier particle at the tail: recompute
+      // the local maximum rather than trusting the sorted head.
+      T local_max = lw[0];
+      for (std::size_t p = 1; p < m_; ++p) local_max = std::max(local_max, lw[p]);
+      for (std::size_t p = 0; p < m_; ++p) w[p] = std::exp(lw[p] - local_max);
+      const double ess =
+          static_cast<double>(resample::effective_sample_size<T>(w));
+      group_ess[g] = ess;
+      const auto uniforms = rand_.group_uniforms(g);
+      const double coin = static_cast<double>(uniforms[2 * m_]);
+      if (!resample::should_resample(cfg_.policy, ess / static_cast<double>(m_),
+                                     coin)) {
+        // Carry the population (and its weights) to the next round.
+        std::copy(cur_.state_block(base, m_).begin(),
+                  cur_.state_block(base, m_).end(),
+                  aux_.state_block(base, m_).begin());
+        auto lw_out = aux_.log_weights(base, m_);
+        for (std::size_t p = 0; p < m_; ++p) lw_out[p] = lw[p];
+        return;
+      }
+      auto out = std::span<std::uint32_t>(resample_out_).subspan(base, m_);
+      auto cumsum = std::span<T>(cumsum_).subspan(base, m_);
+      switch (cfg_.resample) {
+        case ResampleAlgorithm::kRws:
+          resample::rws_resample<T>(w, uniforms.first(m_), out, cumsum);
+          break;
+        case ResampleAlgorithm::kVose: {
+          auto prob = std::span<T>(alias_prob_).subspan(base, m_);
+          auto alias = std::span<std::uint32_t>(alias_idx_).subspan(base, m_);
+          auto scaled = std::span<T>(vose_scaled_).subspan(base, m_);
+          auto slots = std::span<std::uint32_t>(vose_slots_).subspan(base, m_);
+          resample::vose_build_inplace<T>(w, prob, alias, scaled, slots);
+          resample::vose_sample<T>(prob, alias, uniforms.first(2 * m_), out);
+          break;
+        }
+        case ResampleAlgorithm::kSystematic:
+          resample::systematic_resample<T>(w, static_cast<T>(uniforms[0]), out,
+                                           cumsum);
+          break;
+        case ResampleAlgorithm::kStratified:
+          resample::stratified_resample<T>(w, uniforms.first(m_), out, cumsum);
+          break;
+      }
+      sortnet::gather_rows<T, std::uint32_t>(cur_.state_block(base, m_),
+                                             aux_.state_block(base, m_), out, dim_);
+      // Diversity diagnostic: distinct parents / m. Reuse the per-group
+      // sort-index scratch to count distinct values without allocating.
+      auto scratch = std::span<std::uint32_t>(sort_idx_).subspan(base, m_);
+      std::copy(out.begin(), out.end(), scratch.begin());
+      std::sort(scratch.begin(), scratch.end());
+      const auto distinct = std::unique(scratch.begin(), scratch.end());
+      group_unique[g] =
+          static_cast<double>(distinct - scratch.begin()) / static_cast<double>(m_);
+      auto lw_out = aux_.log_weights(base, m_);
+      for (std::size_t p = 0; p < m_; ++p) lw_out[p] = T(0);
+      if (cfg_.roughening_k > 0.0) apply_roughening(g);
+    });
+    cur_.swap(aux_);
+    ess_sum_ = 0.0;
+    for (const double e : group_ess) ess_sum_ += e;
+    unique_sum_ = 0.0;
+    for (const double u : group_unique) unique_sum_ += u;
+  }
+
+  /// Gordon roughening of group g's freshly resampled population (in aux_):
+  /// per-dimension jitter scaled by the local value range and m^{-1/dim}.
+  void apply_roughening(std::size_t g) {
+    const std::size_t base = g * m_;
+    const auto normals = rand_.group_normals(g).subspan(roughening_offset_);
+    const T scale = static_cast<T>(
+        cfg_.roughening_k *
+        std::pow(static_cast<double>(m_), -1.0 / static_cast<double>(dim_)));
+    for (std::size_t d = 0; d < dim_; ++d) {
+      T lo = aux_.state(base)[d];
+      T hi = lo;
+      for (std::size_t p = 1; p < m_; ++p) {
+        const T v = aux_.state(base + p)[d];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      const T sigma = scale * (hi - lo);
+      if (sigma <= T(0)) continue;
+      for (std::size_t p = 0; p < m_; ++p) {
+        aux_.state(base + p)[d] += sigma * normals[p * dim_ + d];
+      }
+    }
+  }
+
+  Model model_;
+  FilterConfig cfg_;
+  std::unique_ptr<device::Device> owned_dev_;
+  std::shared_ptr<device::Device> shared_dev_;
+  device::Device* dev_;
+  std::size_t m_;
+  std::size_t n_filters_;
+  std::size_t n_total_;
+  std::size_t dim_;
+  std::size_t roughening_offset_ = 0;
+  prng::MtgpStream stream_;
+  prng::RandomBuffer<T> rand_;
+  ParticleStore<T> cur_;
+  ParticleStore<T> aux_;
+  std::vector<T> sort_keys_;
+  std::vector<std::uint32_t> sort_idx_;
+  std::vector<T> weights_;
+  std::vector<T> cumsum_;
+  std::vector<T> alias_prob_;
+  std::vector<std::uint32_t> alias_idx_;
+  std::vector<T> vose_scaled_;
+  std::vector<std::uint32_t> vose_slots_;
+  std::vector<std::uint32_t> resample_out_;
+  std::vector<T> local_best_lw_;
+  std::vector<T> group_wsum_;
+  std::vector<T> group_wstate_;
+  std::vector<std::vector<std::uint32_t>> neighbors_;
+  std::vector<T> outbox_state_;
+  std::vector<T> outbox_lw_;
+  std::vector<std::uint32_t> pool_top_;
+  std::vector<std::uint32_t> pool_order_;
+  std::vector<T> estimate_;
+  T estimate_lw_ = T(0);
+  StageTimers timers_;
+  double ess_sum_ = 0.0;
+  double unique_sum_ = 0.0;
+  std::size_t step_ = 0;
+};
+
+}  // namespace esthera::core

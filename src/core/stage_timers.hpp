@@ -1,0 +1,72 @@
+// Per-kernel stage timing, producing the runtime breakdowns of the paper's
+// Fig 4. The six stages are exactly the six computational kernels of
+// Sec. VI: PRNG, sampling+weighting, local sort, global estimate, particle
+// exchange, and resampling.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace esthera::core {
+
+enum class Stage : std::size_t {
+  kRand = 0,
+  kSampling,
+  kLocalSort,
+  kGlobalEstimate,
+  kExchange,
+  kResampling,
+};
+
+inline constexpr std::size_t kStageCount = 6;
+
+/// Accumulated wall-clock seconds per stage.
+class StageTimers {
+ public:
+  void add(Stage stage, double seconds) {
+    seconds_[static_cast<std::size_t>(stage)] += seconds;
+  }
+
+  [[nodiscard]] double seconds(Stage stage) const {
+    return seconds_[static_cast<std::size_t>(stage)];
+  }
+
+  [[nodiscard]] double total() const;
+
+  /// Fraction of the total spent in `stage` (0 when nothing recorded).
+  [[nodiscard]] double fraction(Stage stage) const;
+
+  void reset() { seconds_.fill(0.0); }
+
+  [[nodiscard]] static const char* name(Stage stage);
+
+  /// "rand 12.3% | sampling 20.1% | ..." -- one line per Fig 4 bar.
+  [[nodiscard]] std::string breakdown_string() const;
+
+ private:
+  std::array<double, kStageCount> seconds_{};
+};
+
+/// RAII timer adding its scope's duration to a stage.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(StageTimers& timers, Stage stage)
+      : timers_(timers), stage_(stage), start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedStageTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    timers_.add(stage_, std::chrono::duration<double>(end - start_).count());
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageTimers& timers_;
+  Stage stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace esthera::core

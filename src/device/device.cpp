@@ -1,0 +1,3 @@
+#include "device/device.hpp"
+
+namespace esthera::device {}

@@ -1,0 +1,42 @@
+// The many-core "device" the filters run on. On the paper's platforms this
+// is a CUDA/OpenCL GPU (or the OpenCL CPU runtime); here it is an emulator:
+// a kernel is launched over `num_groups` work groups, each group executes
+// its body to completion (work-group-internal algorithms run their GPU
+// lock-step schedules, see sortnet/), and groups are distributed over the
+// host worker pool exactly as a GPU runtime distributes work groups over
+// SMs/CUs. Kernel boundaries are global barriers, as on the real device.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "mcore/thread_pool.hpp"
+
+namespace esthera::device {
+
+/// Emulated compute device.
+class Device {
+ public:
+  /// `workers`: number of host threads emulating SMs/CUs (0 = auto).
+  explicit Device(std::size_t workers = 0)
+      : pool_(workers == 0 ? mcore::ThreadPool::default_worker_count() : workers) {}
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return pool_.worker_count();
+  }
+
+  [[nodiscard]] mcore::ThreadPool& pool() noexcept { return pool_; }
+
+  /// Launches `kernel(group_id)` for every group in [0, num_groups).
+  /// Returns after all groups completed (kernel-boundary barrier).
+  template <typename Kernel>
+  void launch(std::size_t num_groups, Kernel&& kernel) {
+    pool_.run(num_groups,
+              [&](std::size_t g, std::size_t /*worker*/) { kernel(g); });
+  }
+
+ private:
+  mcore::ThreadPool pool_;
+};
+
+}  // namespace esthera::device

@@ -1,0 +1,47 @@
+#include "device/platform.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace esthera::device {
+namespace {
+
+const std::array<PlatformSpec, 7> kPresets{{
+    // Sequential reference (the paper's centralized C filter).
+    {"seq-reference", "single CPU core, GCC -O3", 1, 1u << 20, 1u << 20},
+    // Embedded-class device (paper Sec. IX future work: "down to real-time
+    // applications on embedded systems with GPGPU cores").
+    {"emu-embedded", "embedded SoC with GPGPU cores", 2, 128, 32},
+    // Mobile quad-core CPU (i7-2820QM class): few workers, small sub-filters.
+    {"emu-cpu-mobile", "Intel Core i7-2820QM", 4, 256, 64},
+    // Dual-socket server CPU (2x Xeon E5-2660 class).
+    {"emu-cpu-server", "dual Intel Xeon E5-2660", 16, 256, 64},
+    // Previous-generation GPU (GTX 580 / HD 6970 class): wide groups.
+    {"emu-gpu-small", "NVIDIA GTX 580 / AMD HD 6970", 16, 512, 512},
+    // Current-generation GPU (GTX 680 class).
+    {"emu-gpu-large", "NVIDIA GTX 680", 8, 1024, 512},
+    // High-end GPU (HD 7970 class).
+    {"emu-gpu-hd7970", "AMD HD 7970", 32, 1024, 512},
+}};
+
+}  // namespace
+
+std::span<const PlatformSpec> platform_presets() { return kPresets; }
+
+const PlatformSpec& platform_by_name(const std::string& name) {
+  for (const auto& p : kPresets) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown platform preset: " + name);
+}
+
+std::string host_description() {
+  std::ostringstream os;
+  os << "host: " << std::thread::hardware_concurrency()
+     << " hardware thread(s), emulated many-core device (see DESIGN.md)";
+  return os.str();
+}
+
+}  // namespace esthera::device

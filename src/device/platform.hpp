@@ -1,0 +1,34 @@
+// Emulated platform presets standing in for the paper's Table III hardware.
+// We cannot reproduce GTX 580/680, HD 6970/7970 or the dual Xeon E5-2660;
+// instead each preset fixes the two knobs that shape filter behaviour in
+// our emulator: the worker count (SM/CU analogue) and the maximum
+// work-group width (particles per sub-filter on the device path; the
+// paper's GPUs cap this at 512/1024, its CPUs run small sub-filters).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace esthera::device {
+
+struct PlatformSpec {
+  std::string name;           ///< preset id, e.g. "emu-gpu-large"
+  std::string models_after;   ///< the Table III entry this preset stands in for
+  std::size_t workers;        ///< host threads emulating SMs/CUs (0 = auto)
+  std::size_t max_group_size; ///< maximum particles per sub-filter
+  std::size_t default_group_size;  ///< Table II default m for this class
+};
+
+/// All built-in presets, one per Table III platform class.
+[[nodiscard]] std::span<const PlatformSpec> platform_presets();
+
+/// Looks a preset up by name; throws std::invalid_argument if unknown.
+[[nodiscard]] const PlatformSpec& platform_by_name(const std::string& name);
+
+/// Describes the actual host this process runs on (cores, etc.), for
+/// benchmark report headers.
+[[nodiscard]] std::string host_description();
+
+}  // namespace esthera::device

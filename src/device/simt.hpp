@@ -1,0 +1,74 @@
+// Lane-level SIMT execution harness. The production emulator executes
+// work-group algorithms as explicit lock-step schedules (see sortnet/);
+// this harness runs a kernel the way the *device* would - one thread per
+// lane with real barriers - so tests can prove the two produce identical
+// results. It exists for fidelity validation, not performance: lane counts
+// beyond a few hundred get slow on a host machine, exactly as expected.
+#pragma once
+
+#include <barrier>
+#include <cassert>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace esthera::device {
+
+/// Per-lane execution context handed to a SIMT kernel.
+class LaneContext {
+ public:
+  LaneContext(std::size_t lane, std::size_t lanes, std::barrier<>& bar)
+      : lane_(lane), lanes_(lanes), barrier_(bar) {}
+
+  [[nodiscard]] std::size_t lane_id() const noexcept { return lane_; }
+  [[nodiscard]] std::size_t lane_count() const noexcept { return lanes_; }
+
+  /// Work-group barrier: every lane must reach it the same number of times
+  /// (divergent barriers are undefined behaviour on real devices too).
+  void barrier() { barrier_.arrive_and_wait(); }
+
+ private:
+  std::size_t lane_;
+  std::size_t lanes_;
+  std::barrier<>& barrier_;
+};
+
+/// Runs `kernel(LaneContext&)` once per lane, each lane on its own thread,
+/// with a real barrier; returns when all lanes finished. Exceptions thrown
+/// by any lane are rethrown on the calling thread (first one wins).
+template <typename Kernel>
+void run_simt_group(std::size_t lanes, Kernel&& kernel) {
+  assert(lanes >= 1);
+  if (lanes == 1) {
+    std::barrier bar(1);
+    LaneContext ctx(0, 1, bar);
+    kernel(ctx);
+    return;
+  }
+  std::barrier bar(static_cast<std::ptrdiff_t>(lanes));
+  std::vector<std::thread> threads;
+  threads.reserve(lanes);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    threads.emplace_back([&, lane] {
+      LaneContext ctx(lane, lanes, bar);
+      try {
+        kernel(ctx);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // A throwing lane cannot keep participating in barriers; real
+        // kernels do not throw. Tests only use non-throwing kernels, so
+        // this path is a debugging aid, not a recovery mechanism.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace esthera::device

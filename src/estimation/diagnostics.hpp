@@ -1,0 +1,82 @@
+// Filter-health diagnostics beyond ESS: weight entropy, surviving-parent
+// statistics of a resampling round (the particle-impoverishment signal
+// behind the paper's All-to-All diversity-loss finding), and a
+// time-to-convergence detector used by the experiment harnesses.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+
+namespace esthera::estimation {
+
+/// Shannon entropy (nats) of a normalized-or-not non-negative weight
+/// vector; maximal (log n) for uniform weights, 0 when degenerate.
+template <typename T>
+double weight_entropy(std::span<const T> weights) {
+  double total = 0.0;
+  for (const T w : weights) total += static_cast<double>(w);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (const T w : weights) {
+    const double p = static_cast<double>(w) / total;
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+/// Fraction of distinct parents among resampled indices - a direct
+/// impoverishment measure: 1.0 means every child has its own parent,
+/// 1/n means the whole population collapsed onto one ancestor.
+inline double unique_parent_fraction(std::span<const std::uint32_t> parents) {
+  if (parents.empty()) return 0.0;
+  std::unordered_set<std::uint32_t> seen(parents.begin(), parents.end());
+  return static_cast<double>(seen.size()) / static_cast<double>(parents.size());
+}
+
+/// Declares convergence once the per-step error stays below `threshold`
+/// for `window` consecutive steps; reports the first step of that window.
+class ConvergenceDetector {
+ public:
+  ConvergenceDetector(double threshold, std::size_t window)
+      : threshold_(threshold), window_(window) {}
+
+  /// Feeds one step's error; returns true once converged (latched).
+  bool update(double error) {
+    ++step_;
+    if (converged_) return true;
+    if (error < threshold_) {
+      if (++streak_ >= window_) {
+        converged_ = true;
+        convergence_step_ = step_ - window_;
+      }
+    } else {
+      streak_ = 0;
+    }
+    return converged_;
+  }
+
+  [[nodiscard]] bool converged() const { return converged_; }
+
+  /// First step of the qualifying window (meaningful once converged()).
+  [[nodiscard]] std::size_t convergence_step() const { return convergence_step_; }
+
+  void reset() {
+    step_ = 0;
+    streak_ = 0;
+    converged_ = false;
+    convergence_step_ = 0;
+  }
+
+ private:
+  double threshold_;
+  std::size_t window_;
+  std::size_t step_ = 0;
+  std::size_t streak_ = 0;
+  bool converged_ = false;
+  std::size_t convergence_step_ = 0;
+};
+
+}  // namespace esthera::estimation

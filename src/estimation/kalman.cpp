@@ -1,0 +1,118 @@
+#include "estimation/kalman.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace esthera::estimation {
+
+KalmanFilter::KalmanFilter(Matrix a, Matrix b, Matrix c, Matrix q, Matrix r,
+                           std::vector<double> x0, Matrix p0)
+    : a_(std::move(a)),
+      b_(std::move(b)),
+      c_(std::move(c)),
+      q_(std::move(q)),
+      r_(std::move(r)),
+      x_(std::move(x0)),
+      p_(std::move(p0)) {
+  assert(a_.rows() == a_.cols() && a_.rows() == x_.size());
+  assert(c_.cols() == x_.size());
+}
+
+void KalmanFilter::predict(std::span<const double> u) {
+  x_ = a_.apply(x_);
+  if (b_.rows() > 0 && !u.empty()) {
+    const auto bu = b_.apply(u);
+    for (std::size_t i = 0; i < x_.size(); ++i) x_[i] += bu[i];
+  }
+  p_ = a_ * p_ * a_.transposed() + q_;
+  symmetrize(p_);
+}
+
+void KalmanFilter::update(std::span<const double> z) {
+  const auto zh = c_.apply(x_);
+  Matrix s = c_ * p_ * c_.transposed() + r_;
+  // K = P C^T S^-1  computed as solve(S^T, (P C^T)^T)^T = solve(S, C P^T)^T.
+  Matrix k = solve(s, c_ * p_.transposed()).transposed();
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < z.size(); ++m) acc += k(i, m) * (z[m] - zh[m]);
+    x_[i] += acc;
+  }
+  p_ = (Matrix::identity(x_.size()) - k * c_) * p_;
+  symmetrize(p_);
+}
+
+ExtendedKalmanFilter::ExtendedKalmanFilter(TransitionFn f, MeasurementFn h,
+                                           Matrix q, Matrix r,
+                                           std::vector<double> x0, Matrix p0)
+    : f_(std::move(f)),
+      h_(std::move(h)),
+      q_(std::move(q)),
+      r_(std::move(r)),
+      x_(std::move(x0)),
+      p_(std::move(p0)) {}
+
+Matrix ExtendedKalmanFilter::numeric_jacobian_f(std::span<const double> x,
+                                                std::span<const double> u) const {
+  const std::size_t n = x.size();
+  Matrix j(n, n);
+  std::vector<double> xp(x.begin(), x.end());
+  for (std::size_t c = 0; c < n; ++c) {
+    const double eps = 1e-6 * std::max(1.0, std::abs(x[c]));
+    xp[c] = x[c] + eps;
+    const auto hi = f_(xp, u, step_);
+    xp[c] = x[c] - eps;
+    const auto lo = f_(xp, u, step_);
+    xp[c] = x[c];
+    for (std::size_t r = 0; r < n; ++r) j(r, c) = (hi[r] - lo[r]) / (2 * eps);
+  }
+  return j;
+}
+
+Matrix ExtendedKalmanFilter::numeric_jacobian_h(std::span<const double> x) const {
+  const std::size_t n = x.size();
+  const auto z0 = h_(x);
+  Matrix j(z0.size(), n);
+  std::vector<double> xp(x.begin(), x.end());
+  for (std::size_t c = 0; c < n; ++c) {
+    const double eps = 1e-6 * std::max(1.0, std::abs(x[c]));
+    xp[c] = x[c] + eps;
+    const auto hi = h_(xp);
+    xp[c] = x[c] - eps;
+    const auto lo = h_(xp);
+    xp[c] = x[c];
+    for (std::size_t r = 0; r < z0.size(); ++r) j(r, c) = (hi[r] - lo[r]) / (2 * eps);
+  }
+  return j;
+}
+
+void ExtendedKalmanFilter::predict(std::span<const double> u) {
+  const Matrix f = numeric_jacobian_f(x_, u);
+  x_ = f_(x_, u, step_);
+  p_ = f * p_ * f.transposed() + q_;
+  symmetrize(p_);
+  ++step_;
+}
+
+void ExtendedKalmanFilter::update(std::span<const double> z) {
+  const Matrix h = numeric_jacobian_h(x_);
+  const auto zh = h_(x_);
+  std::vector<double> innovation;
+  if (residual_) {
+    innovation = residual_(z, zh);
+  } else {
+    innovation.resize(z.size());
+    for (std::size_t m = 0; m < z.size(); ++m) innovation[m] = z[m] - zh[m];
+  }
+  Matrix s = h * p_ * h.transposed() + r_;
+  Matrix k = solve(s, h * p_.transposed()).transposed();
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < z.size(); ++m) acc += k(i, m) * innovation[m];
+    x_[i] += acc;
+  }
+  p_ = (Matrix::identity(x_.size()) - k * h) * p_;
+  symmetrize(p_);
+}
+
+}  // namespace esthera::estimation

@@ -1,0 +1,81 @@
+// Kalman filter and extended Kalman filter. The paper's introduction
+// positions particle filters against these parametric filters ("for systems
+// where the amount of non-linearity is limited... extended or unscented
+// Kalman filter"); we use them as (i) the baseline estimator on mildly
+// nonlinear problems and (ii) the exact oracle validating the particle
+// filters on linear-Gaussian systems.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "estimation/linalg.hpp"
+
+namespace esthera::estimation {
+
+/// Linear Kalman filter:  x' = A x + B u + w,  z = C x + v.
+class KalmanFilter {
+ public:
+  /// `q` and `r` are the process / measurement noise covariances.
+  KalmanFilter(Matrix a, Matrix b, Matrix c, Matrix q, Matrix r,
+               std::vector<double> x0, Matrix p0);
+
+  /// Prediction step with control input `u` (may be empty when B is 0x0).
+  void predict(std::span<const double> u = {});
+
+  /// Measurement update.
+  void update(std::span<const double> z);
+
+  [[nodiscard]] std::span<const double> state() const { return x_; }
+  [[nodiscard]] const Matrix& covariance() const { return p_; }
+
+ private:
+  Matrix a_, b_, c_, q_, r_;
+  std::vector<double> x_;
+  Matrix p_;
+};
+
+/// Extended Kalman filter over arbitrary differentiable dynamics given as
+/// callbacks; Jacobians are computed by central finite differences, which
+/// is exact enough for the baseline role it plays here.
+class ExtendedKalmanFilter {
+ public:
+  using TransitionFn =
+      std::function<std::vector<double>(std::span<const double> x,
+                                        std::span<const double> u, std::size_t step)>;
+  using MeasurementFn =
+      std::function<std::vector<double>(std::span<const double> x)>;
+  /// Innovation = residual(z, h(x)). Defaults to plain subtraction; models
+  /// with circular measurement channels (bearings) supply a wrapping
+  /// residual here, the standard EKF treatment of angle measurements.
+  using InnovationFn = std::function<std::vector<double>(
+      std::span<const double> z, std::span<const double> zh)>;
+
+  ExtendedKalmanFilter(TransitionFn f, MeasurementFn h, Matrix q, Matrix r,
+                       std::vector<double> x0, Matrix p0);
+
+  /// Installs a custom innovation function (see InnovationFn).
+  void set_innovation(InnovationFn residual) { residual_ = std::move(residual); }
+
+  void predict(std::span<const double> u = {});
+  void update(std::span<const double> z);
+
+  [[nodiscard]] std::span<const double> state() const { return x_; }
+  [[nodiscard]] const Matrix& covariance() const { return p_; }
+  [[nodiscard]] std::size_t step() const { return step_; }
+
+ private:
+  Matrix numeric_jacobian_f(std::span<const double> x, std::span<const double> u) const;
+  Matrix numeric_jacobian_h(std::span<const double> x) const;
+
+  TransitionFn f_;
+  MeasurementFn h_;
+  InnovationFn residual_;  // empty = plain subtraction
+  Matrix q_, r_;
+  std::vector<double> x_;
+  Matrix p_;
+  std::size_t step_ = 0;
+};
+
+}  // namespace esthera::estimation

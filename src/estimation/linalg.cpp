@@ -1,0 +1,133 @@
+#include "estimation/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace esthera::estimation {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+std::vector<double> Matrix::apply(std::span<const double> v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix solve(Matrix a, Matrix b) {
+  assert(a.rows() == a.cols() && a.rows() == b.rows());
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-300) {
+      throw std::runtime_error("linalg::solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      for (std::size_t c = 0; c < m; ++c) std::swap(b(col, c), b(pivot, c));
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      for (std::size_t c = 0; c < m; ++c) b(r, c) -= f * b(col, c);
+    }
+  }
+  // Back substitution.
+  Matrix x(n, m);
+  for (std::size_t ri = n; ri-- > 0;) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double acc = b(ri, c);
+      for (std::size_t k = ri + 1; k < n; ++k) acc -= a(ri, k) * x(k, c);
+      x(ri, c) = acc / a(ri, ri);
+    }
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) { return solve(a, Matrix::identity(a.rows())); }
+
+Matrix cholesky(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c <= i; ++c) {
+      double acc = a(i, c);
+      for (std::size_t k = 0; k < c; ++k) acc -= l(i, k) * l(c, k);
+      if (i == c) {
+        if (acc <= 0.0) {
+          throw std::runtime_error("linalg::cholesky: matrix not positive definite");
+        }
+        l(i, c) = std::sqrt(acc);
+      } else {
+        l(i, c) = acc / l(c, c);
+      }
+    }
+  }
+  return l;
+}
+
+void symmetrize(Matrix& m) {
+  assert(m.rows() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = r + 1; c < m.cols(); ++c) {
+      const double v = 0.5 * (m(r, c) + m(c, r));
+      m(r, c) = v;
+      m(c, r) = v;
+    }
+  }
+}
+
+}  // namespace esthera::estimation

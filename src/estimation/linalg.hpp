@@ -1,0 +1,67 @@
+// Minimal dense linear algebra for the Kalman-filter baselines: the paper
+// positions particle filters against parametric (extended/unscented Kalman)
+// filters, so we implement KF/EKF as comparators and PF correctness oracles
+// on linear-Gaussian problems. Dimensions here are tiny (state dims < 200),
+// so simple row-major O(n^3) routines are the right tool.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace esthera::estimation {
+
+/// Row-major dynamically sized matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> data() { return data_; }
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix-vector product.
+  [[nodiscard]] std::vector<double> apply(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A X = B with partial-pivot LU; A must be square and non-singular.
+/// Throws std::runtime_error on a (near-)singular pivot.
+Matrix solve(Matrix a, Matrix b);
+
+/// Inverse via solve(A, I).
+Matrix inverse(const Matrix& a);
+
+/// Lower-triangular Cholesky factor L with L L^T = A; A must be symmetric
+/// positive definite. Throws std::runtime_error otherwise.
+Matrix cholesky(const Matrix& a);
+
+/// Symmetrizes in place: M <- (M + M^T) / 2 (covariance hygiene).
+void symmetrize(Matrix& m);
+
+}  // namespace esthera::estimation

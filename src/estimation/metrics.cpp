@@ -1,0 +1,70 @@
+#include "estimation/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esthera::estimation {
+
+void ErrorAccumulator::add_step(std::span<const double> error) {
+  double sq = 0.0;
+  for (const double e : error) sq += e * e;
+  const double norm = std::sqrt(sq);
+  sum_sq_ += sq;
+  sum_abs_ += norm;
+  max_abs_ = std::max(max_abs_, norm);
+  ++n_;
+}
+
+void ErrorAccumulator::add_scalar(double error) {
+  const double a = std::abs(error);
+  sum_sq_ += error * error;
+  sum_abs_ += a;
+  max_abs_ = std::max(max_abs_, a);
+  ++n_;
+}
+
+double ErrorAccumulator::rmse() const {
+  return n_ == 0 ? 0.0 : std::sqrt(sum_sq_ / static_cast<double>(n_));
+}
+
+double ErrorAccumulator::mae() const {
+  return n_ == 0 ? 0.0 : sum_abs_ / static_cast<double>(n_);
+}
+
+double ErrorAccumulator::max_abs() const { return max_abs_; }
+
+void ErrorAccumulator::reset() {
+  sum_sq_ = 0.0;
+  sum_abs_ = 0.0;
+  max_abs_ = 0.0;
+  n_ = 0;
+}
+
+void ErrorAccumulator::merge(const ErrorAccumulator& other) {
+  sum_sq_ += other.sum_sq_;
+  sum_abs_ += other.sum_abs_;
+  max_abs_ = std::max(max_abs_, other.max_abs_);
+  n_ += other.n_;
+}
+
+SeriesStats series_stats(std::span<const double> values) {
+  SeriesStats s;
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double var = 0.0;
+    for (const double v : values) var += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace esthera::estimation

@@ -1,0 +1,55 @@
+// Estimation-error metrics. The paper reports estimation errors averaged
+// over (typically 100) independent runs of (typically 100) time steps; this
+// accumulator implements that protocol plus the usual summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace esthera::estimation {
+
+/// Accumulates squared errors over steps and runs; reports RMSE.
+class ErrorAccumulator {
+ public:
+  /// Records one time step's error vector (estimate - truth).
+  void add_step(std::span<const double> error);
+
+  /// Records one step's scalar position error (e.g. object-position
+  /// Euclidean distance), the metric used for the robot-arm figures.
+  void add_scalar(double error);
+
+  /// Root mean square over every recorded entry.
+  [[nodiscard]] double rmse() const;
+
+  /// Mean absolute error.
+  [[nodiscard]] double mae() const;
+
+  /// Largest absolute error seen.
+  [[nodiscard]] double max_abs() const;
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+  void reset();
+
+  /// Merges another accumulator (e.g. one per run) into this one.
+  void merge(const ErrorAccumulator& other);
+
+ private:
+  double sum_sq_ = 0.0;
+  double sum_abs_ = 0.0;
+  double max_abs_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Mean and sample standard deviation of a series (across runs).
+struct SeriesStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] SeriesStats series_stats(std::span<const double> values);
+
+}  // namespace esthera::estimation

@@ -1,0 +1,127 @@
+#include "estimation/ukf.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace esthera::estimation {
+
+UnscentedKalmanFilter::UnscentedKalmanFilter(TransitionFn f, MeasurementFn h,
+                                             Matrix q, Matrix r,
+                                             std::vector<double> x0, Matrix p0,
+                                             UkfParams params)
+    : f_(std::move(f)),
+      h_(std::move(h)),
+      q_(std::move(q)),
+      r_(std::move(r)),
+      x_(std::move(x0)),
+      p_(std::move(p0)),
+      params_(params) {
+  const auto n = static_cast<double>(x_.size());
+  lambda_ = params_.alpha * params_.alpha * (n + params_.kappa) - n;
+  const std::size_t count = 2 * x_.size() + 1;
+  wm_.assign(count, 1.0 / (2.0 * (n + lambda_)));
+  wc_ = wm_;
+  wm_[0] = lambda_ / (n + lambda_);
+  wc_[0] = wm_[0] + (1.0 - params_.alpha * params_.alpha + params_.beta);
+}
+
+Matrix UnscentedKalmanFilter::sigma_points() const {
+  const std::size_t n = x_.size();
+  Matrix scaled = p_;
+  const double factor = static_cast<double>(n) + lambda_;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) scaled(r, c) *= factor;
+  }
+  const Matrix l = cholesky(scaled);
+  Matrix pts(2 * n + 1, n);
+  for (std::size_t c = 0; c < n; ++c) pts(0, c) = x_[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < n; ++c) {
+      pts(1 + i, c) = x_[c] + l(c, i);
+      pts(1 + n + i, c) = x_[c] - l(c, i);
+    }
+  }
+  return pts;
+}
+
+void UnscentedKalmanFilter::predict(std::span<const double> u) {
+  const std::size_t n = x_.size();
+  const Matrix pts = sigma_points();
+  propagated_ = Matrix(pts.rows(), n);
+  std::vector<double> point(n);
+  for (std::size_t s = 0; s < pts.rows(); ++s) {
+    for (std::size_t c = 0; c < n; ++c) point[c] = pts(s, c);
+    const auto next = f_(point, u, step_);
+    for (std::size_t c = 0; c < n; ++c) propagated_(s, c) = next[c];
+  }
+  // Predicted mean and covariance.
+  std::fill(x_.begin(), x_.end(), 0.0);
+  for (std::size_t s = 0; s < propagated_.rows(); ++s) {
+    for (std::size_t c = 0; c < n; ++c) x_[c] += wm_[s] * propagated_(s, c);
+  }
+  p_ = q_;
+  for (std::size_t s = 0; s < propagated_.rows(); ++s) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const double dr = propagated_(s, r) - x_[r];
+      for (std::size_t c = 0; c < n; ++c) {
+        p_(r, c) += wc_[s] * dr * (propagated_(s, c) - x_[c]);
+      }
+    }
+  }
+  symmetrize(p_);
+  ++step_;
+}
+
+void UnscentedKalmanFilter::update(std::span<const double> z) {
+  const std::size_t n = x_.size();
+  const std::size_t mdim = z.size();
+  // Re-draw sigma points around the predicted state so the measurement
+  // update sees the full predicted uncertainty (standard additive-noise UKF).
+  const Matrix pts = sigma_points();
+  Matrix zpts(pts.rows(), mdim);
+  std::vector<double> point(n);
+  for (std::size_t s = 0; s < pts.rows(); ++s) {
+    for (std::size_t c = 0; c < n; ++c) point[c] = pts(s, c);
+    const auto zi = h_(point);
+    assert(zi.size() == mdim);
+    for (std::size_t c = 0; c < mdim; ++c) zpts(s, c) = zi[c];
+  }
+  std::vector<double> z_mean(mdim, 0.0);
+  for (std::size_t s = 0; s < zpts.rows(); ++s) {
+    for (std::size_t c = 0; c < mdim; ++c) z_mean[c] += wm_[s] * zpts(s, c);
+  }
+  Matrix s_cov = r_;
+  Matrix cross(n, mdim);
+  for (std::size_t s = 0; s < zpts.rows(); ++s) {
+    for (std::size_t r = 0; r < mdim; ++r) {
+      const double dz_r = zpts(s, r) - z_mean[r];
+      for (std::size_t c = 0; c < mdim; ++c) {
+        s_cov(r, c) += wc_[s] * dz_r * (zpts(s, c) - z_mean[c]);
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      const double dx_r = pts(s, r) - x_[r];
+      for (std::size_t c = 0; c < mdim; ++c) {
+        cross(r, c) += wc_[s] * dx_r * (zpts(s, c) - z_mean[c]);
+      }
+    }
+  }
+  symmetrize(s_cov);
+  // K = cross * S^-1  computed as solve(S, cross^T)^T (S symmetric).
+  const Matrix k = solve(s_cov, cross.transposed()).transposed();
+  std::vector<double> innovation(mdim);
+  if (residual_) {
+    innovation = residual_(z, z_mean);
+  } else {
+    for (std::size_t c = 0; c < mdim; ++c) innovation[c] = z[c] - z_mean[c];
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < mdim; ++c) acc += k(r, c) * innovation[c];
+    x_[r] += acc;
+  }
+  p_ = p_ - k * s_cov * k.transposed();
+  symmetrize(p_);
+}
+
+}  // namespace esthera::estimation

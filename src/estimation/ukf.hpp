@@ -1,0 +1,64 @@
+// Unscented Kalman filter (Julier & Uhlmann) with additive process and
+// measurement noise, the second parametric baseline the paper's
+// introduction names ("extended or the unscented Kalman filter"). Uses the
+// scaled unscented transform with the standard (alpha, beta, kappa)
+// parameterization and Cholesky-based sigma-point generation.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "estimation/linalg.hpp"
+
+namespace esthera::estimation {
+
+struct UkfParams {
+  double alpha = 1e-1;  ///< sigma-point spread
+  double beta = 2.0;    ///< prior-distribution hint (2 = Gaussian optimal)
+  double kappa = 0.0;   ///< secondary scaling
+};
+
+/// UKF over arbitrary dynamics/measurement callbacks; noise is additive.
+class UnscentedKalmanFilter {
+ public:
+  using TransitionFn =
+      std::function<std::vector<double>(std::span<const double> x,
+                                        std::span<const double> u, std::size_t step)>;
+  using MeasurementFn =
+      std::function<std::vector<double>(std::span<const double> x)>;
+  /// Innovation residual; empty means plain subtraction (see EKF).
+  using InnovationFn = std::function<std::vector<double>(
+      std::span<const double> z, std::span<const double> zh)>;
+
+  UnscentedKalmanFilter(TransitionFn f, MeasurementFn h, Matrix q, Matrix r,
+                        std::vector<double> x0, Matrix p0, UkfParams params = {});
+
+  void set_innovation(InnovationFn residual) { residual_ = std::move(residual); }
+
+  void predict(std::span<const double> u = {});
+  void update(std::span<const double> z);
+
+  [[nodiscard]] std::span<const double> state() const { return x_; }
+  [[nodiscard]] const Matrix& covariance() const { return p_; }
+  [[nodiscard]] std::size_t step() const { return step_; }
+
+ private:
+  /// 2n+1 sigma points of (x_, p_), rows of the returned matrix.
+  [[nodiscard]] Matrix sigma_points() const;
+
+  TransitionFn f_;
+  MeasurementFn h_;
+  InnovationFn residual_;
+  Matrix q_, r_;
+  std::vector<double> x_;
+  Matrix p_;
+  UkfParams params_;
+  double lambda_ = 0.0;
+  std::vector<double> wm_;  // mean weights
+  std::vector<double> wc_;  // covariance weights
+  Matrix propagated_;       // sigma points after predict (for the update)
+  std::size_t step_ = 0;
+};
+
+}  // namespace esthera::estimation

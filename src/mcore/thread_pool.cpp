@@ -1,0 +1,91 @@
+#include "mcore/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace esthera::mcore {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers <= 1) return;  // inline execution
+  threads_.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::execute_share(Job& job, std::size_t worker_index) {
+  for (;;) {
+    const std::size_t start = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (start >= job.n) break;
+    const std::size_t stop = std::min(start + job.chunk, job.n);
+    for (std::size_t i = start; i < stop; ++i) (*job.fn)(i, worker_index);
+    if (job.done.fetch_add(stop - start, std::memory_order_acq_rel) + (stop - start) ==
+        job.n) {
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || (job_ != nullptr && epoch_ != seen_epoch); });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    execute_share(*job, worker_index);
+  }
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t chunk) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->chunk = chunk;
+  {
+    std::lock_guard lock(mutex_);
+    job_ = job;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  // The calling thread participates as worker 0; pool threads are 1..N-1.
+  execute_share(*job, 0);
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return job->done.load(std::memory_order_acquire) == n; });
+    job_.reset();
+  }
+}
+
+std::size_t ThreadPool::default_worker_count() {
+  if (const char* env = std::getenv("ESTHERA_WORKERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace esthera::mcore

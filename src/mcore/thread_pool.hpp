@@ -1,0 +1,90 @@
+// Host-side worker pool used to distribute device work groups (sub-filters)
+// over CPU cores, mirroring how a GPU runtime distributes work groups over
+// streaming multiprocessors / compute units.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace esthera::mcore {
+
+/// A fixed-size pool of worker threads executing bulk-parallel index ranges.
+///
+/// The pool is oriented at data-parallel dispatch rather than task queues:
+/// `run(n, fn)` invokes `fn(i, worker)` for every i in [0, n) exactly once,
+/// dynamically load-balanced over the workers with an atomic chunk counter.
+/// `worker` is the index of the executing worker in [0, worker_count()),
+/// usable for per-worker scratch state.
+///
+/// A worker count of 0 or 1 executes inline on the calling thread, which
+/// keeps single-core runs free of synchronization overhead.
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` threads (0 and 1 both mean "inline").
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of logical workers, including the calling thread, which
+  /// participates in every run() as worker 0. Pool threads are workers
+  /// 1..worker_count()-1, so worker indices passed to `fn` are unique and
+  /// safe to use for per-worker scratch slots.
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size() + 1;
+  }
+
+  /// Runs `fn(index, worker)` for each index in [0, n). Blocks until all
+  /// indices completed. `chunk` indices are claimed at a time; larger chunks
+  /// lower scheduling overhead, smaller chunks balance irregular work.
+  void run(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+           std::size_t chunk = 1);
+
+  /// Convenience: pick a worker count from the ESTHERA_WORKERS environment
+  /// variable, falling back to std::thread::hardware_concurrency().
+  static std::size_t default_worker_count();
+
+ private:
+  struct Job {
+    // The function pointer is only dereferenced while indices remain; once
+    // `done == n` every index has run, so the caller may return and destroy
+    // the function object even though workers may still probe `next`/`n`.
+    // The Job itself is shared so those probes never touch freed memory.
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void execute_share(Job& job, std::size_t worker_index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> job_;   // guarded by mutex_
+  std::uint64_t epoch_ = 0;    // bumped per job; guarded by mutex_
+  bool stop_ = false;          // guarded by mutex_
+};
+
+/// Invokes `fn(i)` for every i in [begin, end) using `pool`.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Fn&& fn,
+                  std::size_t chunk = 1) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  pool.run(
+      n, [&](std::size_t i, std::size_t /*worker*/) { fn(begin + i); }, chunk);
+}
+
+}  // namespace esthera::mcore

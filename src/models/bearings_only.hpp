@@ -1,0 +1,106 @@
+// Bearings-only target motion analysis: a constant-velocity target observed
+// through nothing but the bearing from a (maneuvering) own-ship. The
+// canonical hard tracking benchmark - range is unobservable until the
+// observer maneuvers, so the posterior is banana-shaped and strongly
+// non-Gaussian, the regime the paper's introduction motivates particle
+// filters with (radar/sonar tracking).
+//
+// State   x = (px, py, vx, vy)       target position/velocity
+// Control u = (ox, oy)               own-ship position this step
+// Meas.   z = atan2(py - oy, px - ox) + noise
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace esthera::models {
+
+template <typename T>
+struct BearingsOnlyParams {
+  T dt = T(1);                 ///< time step [s]
+  T sigma_accel = T(0.005);    ///< process acceleration noise [unit/s^2]
+  T meas_sigma = T(0.02);      ///< bearing noise [rad]
+  std::vector<T> init_mean = {T(10), T(10), T(-0.2), T(0)};
+  std::vector<T> init_std = {T(4), T(4), T(0.2), T(0.2)};
+};
+
+template <typename T>
+class BearingsOnlyModel {
+ public:
+  using Scalar = T;
+
+  explicit BearingsOnlyModel(BearingsOnlyParams<T> params = {})
+      : p_(std::move(params)) {
+    assert(p_.init_mean.size() == 4 && p_.init_std.size() == 4);
+  }
+
+  [[nodiscard]] const BearingsOnlyParams<T>& params() const { return p_; }
+  [[nodiscard]] std::size_t state_dim() const { return 4; }
+  [[nodiscard]] std::size_t measurement_dim() const { return 1; }
+  [[nodiscard]] std::size_t control_dim() const { return 2; }
+  [[nodiscard]] std::size_t noise_dim() const { return 2; }  ///< accel (x, y)
+  [[nodiscard]] std::size_t init_noise_dim() const { return 4; }
+  [[nodiscard]] std::size_t measurement_noise_dim() const { return 1; }
+
+  void sample_initial(std::span<T> x, std::span<const T> normals) const {
+    assert(x.size() == 4 && normals.size() >= 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      x[i] = p_.init_mean[i] + p_.init_std[i] * normals[i];
+    }
+  }
+
+  /// Nearly-constant-velocity dynamics driven by white acceleration.
+  void sample_transition(std::span<const T> x_prev, std::span<T> x,
+                         std::span<const T> /*u*/, std::span<const T> normals,
+                         std::size_t /*step*/) const {
+    assert(x_prev.size() == 4 && x.size() == 4 && normals.size() >= 2);
+    const T h = p_.dt;
+    const T ax = p_.sigma_accel * normals[0];
+    const T ay = p_.sigma_accel * normals[1];
+    x[0] = x_prev[0] + x_prev[2] * h + T(0.5) * ax * h * h;
+    x[1] = x_prev[1] + x_prev[3] * h + T(0.5) * ay * h * h;
+    x[2] = x_prev[2] + ax * h;
+    x[3] = x_prev[3] + ay * h;
+  }
+
+  /// True bearing from the observer at (u[0], u[1]).
+  [[nodiscard]] T bearing(std::span<const T> x, std::span<const T> u) const {
+    const T ox = u.size() > 0 ? u[0] : T(0);
+    const T oy = u.size() > 1 ? u[1] : T(0);
+    return std::atan2(x[1] - oy, x[0] - ox);
+  }
+
+  void sample_measurement(std::span<const T> x, std::span<T> z,
+                          std::span<const T> normals) const {
+    assert(z.size() == 1 && !normals.empty());
+    z[0] = wrap(bearing(x, observer_) + p_.meas_sigma * normals[0]);
+  }
+
+  /// The measurement depends on where the own-ship is; the filter/simulator
+  /// sets it each step before weighting (z itself carries no observer info).
+  void set_observer(T ox, T oy) { observer_ = {ox, oy}; }
+  [[nodiscard]] std::span<const T> observer() const { return observer_; }
+
+  [[nodiscard]] T log_likelihood(std::span<const T> x, std::span<const T> z) const {
+    assert(z.size() == 1);
+    const T e = wrap(z[0] - bearing(x, observer_));
+    return -T(0.5) * e * e / (p_.meas_sigma * p_.meas_sigma);
+  }
+
+  static T wrap(T a) {
+    constexpr T pi = std::numbers::pi_v<T>;
+    while (a > pi) a -= 2 * pi;
+    while (a <= -pi) a += 2 * pi;
+    return a;
+  }
+
+ private:
+  BearingsOnlyParams<T> p_;
+  std::vector<T> observer_ = {T(0), T(0)};
+};
+
+}  // namespace esthera::models

@@ -1,0 +1,79 @@
+// The univariate nonlinear growth model of Gordon, Salmond & Smith (1993),
+// the standard academic particle-filter benchmark (used by the early
+// parallel-PF studies the paper builds on, e.g. Brun et al. 2002):
+//
+//   x_k = x_{k-1}/2 + 25 x_{k-1} / (1 + x_{k-1}^2) + 8 cos(1.2 k) + w_k
+//   z_k = x_k^2 / 20 + v_k,     w ~ N(0, 10), v ~ N(0, 1)
+//
+// The squared measurement makes the posterior bimodal, which defeats
+// Kalman-style filters and exercises resampling hard.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace esthera::models {
+
+template <typename T>
+struct GrowthParams {
+  T process_var = T(10);
+  T meas_var = T(1);
+  T init_mean = T(0);
+  T init_var = T(10);
+};
+
+template <typename T>
+class GrowthModel {
+ public:
+  using Scalar = T;
+
+  explicit GrowthModel(GrowthParams<T> params = {}) : p_(params) {}
+
+  [[nodiscard]] const GrowthParams<T>& params() const { return p_; }
+  [[nodiscard]] std::size_t state_dim() const { return 1; }
+  [[nodiscard]] std::size_t measurement_dim() const { return 1; }
+  [[nodiscard]] std::size_t control_dim() const { return 0; }
+  [[nodiscard]] std::size_t noise_dim() const { return 1; }
+  [[nodiscard]] std::size_t init_noise_dim() const { return 1; }
+  [[nodiscard]] std::size_t measurement_noise_dim() const { return 1; }
+
+  void sample_initial(std::span<T> x, std::span<const T> normals) const {
+    assert(x.size() == 1 && !normals.empty());
+    x[0] = p_.init_mean + std::sqrt(p_.init_var) * normals[0];
+  }
+
+  /// Deterministic part of the transition.
+  [[nodiscard]] T drift(T x, std::size_t step) const {
+    return x / T(2) + T(25) * x / (T(1) + x * x) +
+           T(8) * std::cos(T(1.2) * static_cast<T>(step));
+  }
+
+  void sample_transition(std::span<const T> x_prev, std::span<T> x,
+                         std::span<const T> /*u*/, std::span<const T> normals,
+                         std::size_t step) const {
+    assert(x_prev.size() == 1 && x.size() == 1 && !normals.empty());
+    x[0] = drift(x_prev[0], step) + std::sqrt(p_.process_var) * normals[0];
+  }
+
+  /// Noise-free measurement.
+  [[nodiscard]] T measure(T x) const { return x * x / T(20); }
+
+  void sample_measurement(std::span<const T> x, std::span<T> z,
+                          std::span<const T> normals) const {
+    assert(x.size() == 1 && z.size() == 1 && !normals.empty());
+    z[0] = measure(x[0]) + std::sqrt(p_.meas_var) * normals[0];
+  }
+
+  [[nodiscard]] T log_likelihood(std::span<const T> x, std::span<const T> z) const {
+    assert(x.size() == 1 && z.size() == 1);
+    const T e = z[0] - measure(x[0]);
+    return -T(0.5) * e * e / p_.meas_var;
+  }
+
+ private:
+  GrowthParams<T> p_;
+};
+
+}  // namespace esthera::models

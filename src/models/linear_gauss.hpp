@@ -1,0 +1,113 @@
+// Linear-Gaussian state-space model:  x' = A x + w,  z = C x + v with
+// diagonal noise. Exists so the particle filters can be validated against
+// the *exact* posterior computed by the Kalman filter — the strongest
+// correctness oracle available (paper Sec. VIII validates against reference
+// implementations; a KF is the reference of references on this model class).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace esthera::models {
+
+template <typename T>
+struct LinearGaussParams {
+  std::size_t dim = 2;
+  std::size_t meas_dim = 1;
+  std::vector<T> a;          ///< dim x dim row-major transition matrix
+  std::vector<T> c;          ///< meas_dim x dim row-major measurement matrix
+  std::vector<T> q_std;      ///< per-state process noise std (dim)
+  std::vector<T> r_std;      ///< per-channel measurement noise std (meas_dim)
+  std::vector<T> init_mean;  ///< dim
+  std::vector<T> init_std;   ///< dim
+
+  /// A ready-made 2-state constant-velocity tracker observed in position.
+  static LinearGaussParams constant_velocity(T dt = T(0.1), T q = T(0.05),
+                                             T r = T(0.2)) {
+    LinearGaussParams p;
+    p.dim = 2;
+    p.meas_dim = 1;
+    p.a = {T(1), dt, T(0), T(1)};
+    p.c = {T(1), T(0)};
+    p.q_std = {q, q};
+    p.r_std = {r};
+    p.init_mean = {T(0), T(0)};
+    p.init_std = {T(1), T(1)};
+    return p;
+  }
+};
+
+template <typename T>
+class LinearGaussModel {
+ public:
+  using Scalar = T;
+
+  explicit LinearGaussModel(LinearGaussParams<T> params)
+      : p_(std::move(params)) {
+    assert(p_.a.size() == p_.dim * p_.dim);
+    assert(p_.c.size() == p_.meas_dim * p_.dim);
+    assert(p_.q_std.size() == p_.dim && p_.r_std.size() == p_.meas_dim);
+    assert(p_.init_mean.size() == p_.dim && p_.init_std.size() == p_.dim);
+  }
+
+  [[nodiscard]] const LinearGaussParams<T>& params() const { return p_; }
+  [[nodiscard]] std::size_t state_dim() const { return p_.dim; }
+  [[nodiscard]] std::size_t measurement_dim() const { return p_.meas_dim; }
+  [[nodiscard]] std::size_t control_dim() const { return 0; }
+  [[nodiscard]] std::size_t noise_dim() const { return p_.dim; }
+  [[nodiscard]] std::size_t init_noise_dim() const { return p_.dim; }
+  [[nodiscard]] std::size_t measurement_noise_dim() const { return p_.meas_dim; }
+
+  void sample_initial(std::span<T> x, std::span<const T> normals) const {
+    assert(x.size() == p_.dim && normals.size() >= p_.dim);
+    for (std::size_t i = 0; i < p_.dim; ++i) {
+      x[i] = p_.init_mean[i] + p_.init_std[i] * normals[i];
+    }
+  }
+
+  void sample_transition(std::span<const T> x_prev, std::span<T> x,
+                         std::span<const T> /*u*/, std::span<const T> normals,
+                         std::size_t /*step*/) const {
+    assert(x.size() == p_.dim && normals.size() >= p_.dim);
+    for (std::size_t r = 0; r < p_.dim; ++r) {
+      T acc = T(0);
+      for (std::size_t c = 0; c < p_.dim; ++c) acc += p_.a[r * p_.dim + c] * x_prev[c];
+      x[r] = acc + p_.q_std[r] * normals[r];
+    }
+  }
+
+  void measure(std::span<const T> x, std::span<T> z) const {
+    assert(z.size() == p_.meas_dim);
+    for (std::size_t r = 0; r < p_.meas_dim; ++r) {
+      T acc = T(0);
+      for (std::size_t c = 0; c < p_.dim; ++c) acc += p_.c[r * p_.dim + c] * x[c];
+      z[r] = acc;
+    }
+  }
+
+  void sample_measurement(std::span<const T> x, std::span<T> z,
+                          std::span<const T> normals) const {
+    assert(normals.size() >= p_.meas_dim);
+    measure(x, z);
+    for (std::size_t r = 0; r < p_.meas_dim; ++r) z[r] += p_.r_std[r] * normals[r];
+  }
+
+  [[nodiscard]] T log_likelihood(std::span<const T> x, std::span<const T> z) const {
+    assert(z.size() == p_.meas_dim);
+    T ll = T(0);
+    for (std::size_t r = 0; r < p_.meas_dim; ++r) {
+      T acc = T(0);
+      for (std::size_t c = 0; c < p_.dim; ++c) acc += p_.c[r * p_.dim + c] * x[c];
+      const T e = (z[r] - acc) / p_.r_std[r];
+      ll -= T(0.5) * e * e;
+    }
+    return ll;
+  }
+
+ private:
+  LinearGaussParams<T> p_;
+};
+
+}  // namespace esthera::models

@@ -1,0 +1,43 @@
+// The model framework separating generic particle filtering from
+// model-specific routines (a stated design goal of the paper: "new
+// dynamical system models can be easily added").
+//
+// A model supplies the two probability kernels of Bayesian filtering:
+//   * the state-transition sampler  x_k ~ p(x_k | x_{k-1}, u_k)
+//   * the measurement likelihood    p(z_k | x_k), returned as a log value
+// plus an initial-state sampler and a measurement sampler (used by the
+// ground-truth simulator to produce synthetic sensor data). Samplers
+// consume pre-generated N(0,1) variates (the paper generates randoms in a
+// separate PRNG kernel, Sec. VI-A); the *_noise_dim() accessors report how
+// many per invocation.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <span>
+
+namespace esthera::models {
+
+/// Compile-time contract every dynamical-system model satisfies.
+template <typename M>
+concept SystemModel = requires(const M m, std::span<const typename M::Scalar> x_prev,
+                               std::span<typename M::Scalar> x,
+                               std::span<const typename M::Scalar> u,
+                               std::span<const typename M::Scalar> z,
+                               std::span<typename M::Scalar> z_out,
+                               std::span<const typename M::Scalar> normals,
+                               std::size_t step) {
+  typename M::Scalar;
+  { m.state_dim() } -> std::convertible_to<std::size_t>;
+  { m.measurement_dim() } -> std::convertible_to<std::size_t>;
+  { m.control_dim() } -> std::convertible_to<std::size_t>;
+  { m.noise_dim() } -> std::convertible_to<std::size_t>;
+  { m.init_noise_dim() } -> std::convertible_to<std::size_t>;
+  { m.measurement_noise_dim() } -> std::convertible_to<std::size_t>;
+  { m.sample_initial(x, normals) } -> std::same_as<void>;
+  { m.sample_transition(x_prev, x, u, normals, step) } -> std::same_as<void>;
+  { m.sample_measurement(x_prev, z_out, normals) } -> std::same_as<void>;
+  { m.log_likelihood(x, z) } -> std::convertible_to<typename M::Scalar>;
+};
+
+}  // namespace esthera::models

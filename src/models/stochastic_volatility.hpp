@@ -1,0 +1,72 @@
+// Log-stochastic-volatility model from econometrics (the application area
+// the paper's introduction cites via Flury & Shephard 2011):
+//
+//   x_k = mu + phi (x_{k-1} - mu) + sigma_eta w_k      (log-volatility)
+//   y_k = exp(x_k / 2) v_k,   w, v ~ N(0, 1)           (observed return)
+//
+// The measurement density p(y|x) = N(y; 0, exp(x)) is non-Gaussian in x,
+// the textbook case where particle filters beat Kalman-style filters.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace esthera::models {
+
+template <typename T>
+struct StochasticVolatilityParams {
+  T mu = T(-1);        ///< long-run mean of log-volatility
+  T phi = T(0.97);     ///< persistence, |phi| < 1
+  T sigma_eta = T(0.2);///< volatility-of-volatility
+};
+
+template <typename T>
+class StochasticVolatilityModel {
+ public:
+  using Scalar = T;
+
+  explicit StochasticVolatilityModel(StochasticVolatilityParams<T> params = {})
+      : p_(params) {}
+
+  [[nodiscard]] const StochasticVolatilityParams<T>& params() const { return p_; }
+  [[nodiscard]] std::size_t state_dim() const { return 1; }
+  [[nodiscard]] std::size_t measurement_dim() const { return 1; }
+  [[nodiscard]] std::size_t control_dim() const { return 0; }
+  [[nodiscard]] std::size_t noise_dim() const { return 1; }
+  [[nodiscard]] std::size_t init_noise_dim() const { return 1; }
+  [[nodiscard]] std::size_t measurement_noise_dim() const { return 1; }
+
+  /// Stationary distribution: N(mu, sigma_eta^2 / (1 - phi^2)).
+  void sample_initial(std::span<T> x, std::span<const T> normals) const {
+    assert(x.size() == 1 && !normals.empty());
+    const T sd = p_.sigma_eta / std::sqrt(T(1) - p_.phi * p_.phi);
+    x[0] = p_.mu + sd * normals[0];
+  }
+
+  void sample_transition(std::span<const T> x_prev, std::span<T> x,
+                         std::span<const T> /*u*/, std::span<const T> normals,
+                         std::size_t /*step*/) const {
+    assert(x_prev.size() == 1 && x.size() == 1 && !normals.empty());
+    x[0] = p_.mu + p_.phi * (x_prev[0] - p_.mu) + p_.sigma_eta * normals[0];
+  }
+
+  /// y = exp(x/2) v with v ~ N(0,1): the noise *is* the return draw.
+  void sample_measurement(std::span<const T> x, std::span<T> z,
+                          std::span<const T> normals) const {
+    assert(x.size() == 1 && z.size() == 1 && !normals.empty());
+    z[0] = std::exp(x[0] / T(2)) * normals[0];
+  }
+
+  /// log N(y; 0, exp(x)) up to an additive constant.
+  [[nodiscard]] T log_likelihood(std::span<const T> x, std::span<const T> z) const {
+    assert(x.size() == 1 && z.size() == 1);
+    return -T(0.5) * (x[0] + z[0] * z[0] * std::exp(-x[0]));
+  }
+
+ private:
+  StochasticVolatilityParams<T> p_;
+};
+
+}  // namespace esthera::models

@@ -1,0 +1,122 @@
+// Four-state vehicle localization model: state (px, py, speed, heading)
+// with unicycle dynamics, measured through range and bearing to known
+// landmarks. This mirrors the "small estimation problem with up to four
+// state variables" class the paper discusses (and the Park & Tosun
+// vehicle-localization application it cites): small state, genuinely
+// nonlinear measurements, saturating around ~16K particles.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace esthera::models {
+
+template <typename T>
+struct VehicleParams {
+  T dt = T(0.1);
+  T sigma_pos = T(0.02);       ///< process position noise [m]
+  T sigma_speed = T(0.05);     ///< process speed noise [m/s]
+  T sigma_heading = T(0.02);   ///< process heading noise [rad]
+  T meas_sigma_range = T(0.3); ///< range measurement noise [m]
+  T meas_sigma_bearing = T(0.05);  ///< bearing measurement noise [rad]
+  std::vector<std::pair<T, T>> landmarks = {{T(0), T(0)}, {T(20), T(0)},
+                                            {T(0), T(20)}};
+  std::vector<T> init_mean = {T(5), T(5), T(1), T(0)};
+  std::vector<T> init_std = {T(2), T(2), T(0.5), T(0.5)};
+};
+
+template <typename T>
+class VehicleModel {
+ public:
+  using Scalar = T;
+
+  explicit VehicleModel(VehicleParams<T> params = {}) : p_(std::move(params)) {
+    assert(!p_.landmarks.empty());
+    assert(p_.init_mean.size() == 4 && p_.init_std.size() == 4);
+  }
+
+  [[nodiscard]] const VehicleParams<T>& params() const { return p_; }
+  [[nodiscard]] std::size_t state_dim() const { return 4; }
+  [[nodiscard]] std::size_t measurement_dim() const { return 2 * p_.landmarks.size(); }
+  [[nodiscard]] std::size_t control_dim() const { return 2; }  ///< (accel, yaw rate)
+  [[nodiscard]] std::size_t noise_dim() const { return 4; }
+  [[nodiscard]] std::size_t init_noise_dim() const { return 4; }
+  [[nodiscard]] std::size_t measurement_noise_dim() const { return measurement_dim(); }
+
+  void sample_initial(std::span<T> x, std::span<const T> normals) const {
+    assert(x.size() == 4 && normals.size() >= 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      x[i] = p_.init_mean[i] + p_.init_std[i] * normals[i];
+    }
+  }
+
+  void sample_transition(std::span<const T> x_prev, std::span<T> x,
+                         std::span<const T> u, std::span<const T> normals,
+                         std::size_t /*step*/) const {
+    assert(x_prev.size() == 4 && x.size() == 4 && normals.size() >= 4);
+    const T accel = u.size() > 0 ? u[0] : T(0);
+    const T yaw_rate = u.size() > 1 ? u[1] : T(0);
+    const T h = p_.dt;
+    const T v = x_prev[2];
+    const T psi = x_prev[3];
+    x[0] = x_prev[0] + v * std::cos(psi) * h + p_.sigma_pos * normals[0];
+    x[1] = x_prev[1] + v * std::sin(psi) * h + p_.sigma_pos * normals[1];
+    x[2] = v + accel * h + p_.sigma_speed * normals[2];
+    x[3] = psi + yaw_rate * h + p_.sigma_heading * normals[3];
+  }
+
+  /// Noise-free measurement: (range_i, bearing_i) per landmark, bearing
+  /// relative to the vehicle heading, wrapped to (-pi, pi].
+  void measure(std::span<const T> x, std::span<T> z) const {
+    assert(z.size() == measurement_dim());
+    for (std::size_t l = 0; l < p_.landmarks.size(); ++l) {
+      const T dx = p_.landmarks[l].first - x[0];
+      const T dy = p_.landmarks[l].second - x[1];
+      z[2 * l + 0] = std::sqrt(dx * dx + dy * dy);
+      z[2 * l + 1] = wrap_angle(std::atan2(dy, dx) - x[3]);
+    }
+  }
+
+  void sample_measurement(std::span<const T> x, std::span<T> z,
+                          std::span<const T> normals) const {
+    assert(normals.size() >= measurement_noise_dim());
+    measure(x, z);
+    for (std::size_t l = 0; l < p_.landmarks.size(); ++l) {
+      z[2 * l + 0] += p_.meas_sigma_range * normals[2 * l + 0];
+      z[2 * l + 1] = wrap_angle(z[2 * l + 1] + p_.meas_sigma_bearing * normals[2 * l + 1]);
+    }
+  }
+
+  [[nodiscard]] T log_likelihood(std::span<const T> x, std::span<const T> z) const {
+    assert(z.size() == measurement_dim());
+    T ll = T(0);
+    const T inv_var_r = T(1) / (p_.meas_sigma_range * p_.meas_sigma_range);
+    const T inv_var_b = T(1) / (p_.meas_sigma_bearing * p_.meas_sigma_bearing);
+    for (std::size_t l = 0; l < p_.landmarks.size(); ++l) {
+      const T dx = p_.landmarks[l].first - x[0];
+      const T dy = p_.landmarks[l].second - x[1];
+      const T er = z[2 * l + 0] - std::sqrt(dx * dx + dy * dy);
+      const T eb = wrap_angle(z[2 * l + 1] - (std::atan2(dy, dx) - x[3]));
+      ll -= T(0.5) * (er * er * inv_var_r + eb * eb * inv_var_b);
+    }
+    return ll;
+  }
+
+  /// Wraps an angle to (-pi, pi].
+  static T wrap_angle(T a) {
+    constexpr T pi = std::numbers::pi_v<T>;
+    while (a > pi) a -= 2 * pi;
+    while (a <= -pi) a += 2 * pi;
+    return a;
+  }
+
+ private:
+  VehicleParams<T> p_;
+};
+
+}  // namespace esthera::models

@@ -1,0 +1,77 @@
+// Conversions from uniform bits to floating-point variates: U(0,1) and the
+// Box-Muller transform to N(0,1), as used by the paper's PRNG kernel
+// (MTGP + Box-Muller, Sec. VI-A).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <utility>
+
+namespace esthera::prng {
+
+/// Maps 32 uniform bits to a float in [0, 1) with 24-bit resolution.
+inline float u01f(std::uint32_t bits) {
+  return static_cast<float>(bits >> 8) * 0x1.0p-24f;
+}
+
+/// Maps 32 uniform bits to a double in [0, 1) (32-bit resolution; enough for
+/// resampling draws, the reference filter uses u01d64 below for sampling).
+inline double u01d(std::uint32_t bits) { return bits * 0x1.0p-32; }
+
+/// Maps 64 uniform bits to a double in [0, 1) with 53-bit resolution.
+inline double u01d64(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+template <typename T>
+inline T u01(std::uint32_t bits) {
+  if constexpr (sizeof(T) == sizeof(float)) {
+    return u01f(bits);
+  } else {
+    return static_cast<T>(u01d(bits));
+  }
+}
+
+/// Draws U(0,1) of type T from a 32-bit generator.
+template <typename T, typename Gen>
+inline T uniform01(Gen& gen) {
+  return u01<T>(gen());
+}
+
+/// Box-Muller: maps two U(0,1) variates to two independent N(0,1) variates.
+/// The first input is nudged away from 0 so log() stays finite.
+template <typename T>
+inline std::pair<T, T> box_muller(T u1, T u2) {
+  constexpr T kTiny = sizeof(T) == sizeof(float) ? T(1.1754944e-38) : T(2.2250738585072014e-308);
+  if (u1 < kTiny) u1 = kTiny;
+  const T r = std::sqrt(T(-2) * std::log(u1));
+  const T theta = T(2) * std::numbers::pi_v<T> * u2;
+  return {r * std::cos(theta), r * std::sin(theta)};
+}
+
+/// Stateful N(0,1) source over any 32-bit generator; caches the second
+/// Box-Muller output so no variate is wasted.
+template <typename T, typename Gen>
+class NormalSource {
+ public:
+  explicit NormalSource(Gen& gen) : gen_(gen) {}
+
+  T operator()() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    const auto [z0, z1] = box_muller(uniform01<T>(gen_), uniform01<T>(gen_));
+    spare_ = z1;
+    has_spare_ = true;
+    return z0;
+  }
+
+ private:
+  Gen& gen_;
+  T spare_{};
+  bool has_spare_ = false;
+};
+
+}  // namespace esthera::prng

@@ -1,0 +1,39 @@
+#include "prng/mt19937.hpp"
+
+namespace esthera::prng {
+
+void Mt19937::reseed(std::uint32_t seed) {
+  state_[0] = seed;
+  for (int i = 1; i < kN; ++i) {
+    state_[i] = 1812433253u * (state_[i - 1] ^ (state_[i - 1] >> 30)) +
+                static_cast<std::uint32_t>(i);
+  }
+  index_ = kN;
+}
+
+void Mt19937::twist() {
+  for (int i = 0; i < kN; ++i) {
+    const std::uint32_t y =
+        (state_[i] & kUpperMask) | (state_[(i + 1) % kN] & kLowerMask);
+    std::uint32_t next = state_[(i + kM) % kN] ^ (y >> 1);
+    if (y & 1u) next ^= kMatrixA;
+    state_[i] = next;
+  }
+  index_ = 0;
+}
+
+std::uint32_t Mt19937::operator()() {
+  if (index_ >= kN) twist();
+  std::uint32_t y = state_[index_++];
+  y ^= y >> 11;
+  y ^= (y << 7) & 0x9d2c5680u;
+  y ^= (y << 15) & 0xefc60000u;
+  y ^= y >> 18;
+  return y;
+}
+
+void Mt19937::discard(unsigned long long n) {
+  for (unsigned long long i = 0; i < n; ++i) (*this)();
+}
+
+}  // namespace esthera::prng

@@ -1,0 +1,68 @@
+// Mersenne Twister MT19937 implemented from scratch (Matsumoto & Nishimura,
+// 1998). The paper's device-side PRNG is MTGP, an MT variant with one
+// independent generator state per work group; `MtgpStream` builds that
+// scheme on top of this core generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace esthera::prng {
+
+/// 32-bit Mersenne Twister with the standard MT19937 parameters.
+///
+/// Bit-exact with std::mt19937 for the same seed (verified by tests), but
+/// self-contained so the device emulator does not depend on libstdc++
+/// internals and so states can be stored compactly per work group.
+class Mt19937 {
+ public:
+  using result_type = std::uint32_t;
+
+  static constexpr std::uint32_t kDefaultSeed = 5489u;
+
+  explicit Mt19937(std::uint32_t seed = kDefaultSeed) { reseed(seed); }
+
+  /// Re-initializes the state from a 32-bit seed (Knuth's multiplier
+  /// recurrence, identical to std::mt19937 seeding).
+  void reseed(std::uint32_t seed);
+
+  /// Next 32 uniformly distributed bits.
+  std::uint32_t operator()();
+
+  /// Skips `n` outputs.
+  void discard(unsigned long long n);
+
+  static constexpr std::uint32_t min() { return 0; }
+  static constexpr std::uint32_t max() { return 0xffffffffu; }
+
+ private:
+  static constexpr int kN = 624;
+  static constexpr int kM = 397;
+  static constexpr std::uint32_t kMatrixA = 0x9908b0dfu;
+  static constexpr std::uint32_t kUpperMask = 0x80000000u;
+  static constexpr std::uint32_t kLowerMask = 0x7fffffffu;
+
+  void twist();
+
+  std::array<std::uint32_t, kN> state_{};
+  int index_ = kN;
+};
+
+/// SplitMix64: a tiny, well-mixed 64-bit generator used only to derive
+/// decorrelated seeds for per-work-group generator states.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace esthera::prng

@@ -1,0 +1,56 @@
+#include "prng/mtgp_stream.hpp"
+
+namespace esthera::prng {
+
+MtgpStream::MtgpStream(std::size_t groups, std::uint64_t seed, Generator generator)
+    : generator_(generator), seed_(seed) {
+  if (generator_ == Generator::kMtgp) {
+    mt_.reserve(groups);
+    SplitMix64 mix(seed);
+    for (std::size_t g = 0; g < groups; ++g) {
+      mt_.emplace_back(static_cast<std::uint32_t>(mix() >> 16));
+    }
+  } else {
+    philox_streams_ = groups;
+  }
+}
+
+template <typename T>
+void MtgpStream::fill_impl(mcore::ThreadPool& pool, RandomBuffer<T>& buf) {
+  const std::uint64_t round = round_++;
+  pool.run(buf.groups, [&](std::size_t g, std::size_t /*worker*/) {
+    auto normals = buf.group_normals(g);
+    auto uniforms = buf.group_uniforms(g);
+    auto fill_from = [&](auto& gen) {
+      // Normals first, pairwise via Box-Muller (odd counts waste one draw,
+      // like the paper's separate PRNG kernel which generates a fixed grid).
+      for (std::size_t i = 0; i + 1 < normals.size(); i += 2) {
+        const auto [z0, z1] = box_muller(uniform01<T>(gen), uniform01<T>(gen));
+        normals[i] = z0;
+        normals[i + 1] = z1;
+      }
+      if (normals.size() % 2 == 1) {
+        const auto [z0, z1] = box_muller(uniform01<T>(gen), uniform01<T>(gen));
+        normals[normals.size() - 1] = z0;
+        (void)z1;
+      }
+      for (auto& u : uniforms) u = uniform01<T>(gen);
+    };
+    if (generator_ == Generator::kMtgp) {
+      fill_from(mt_[g]);
+    } else {
+      PhiloxStream gen(seed_, (round << 32) | static_cast<std::uint64_t>(g));
+      fill_from(gen);
+    }
+  });
+}
+
+void MtgpStream::fill(mcore::ThreadPool& pool, RandomBuffer<float>& buf) {
+  fill_impl(pool, buf);
+}
+
+void MtgpStream::fill(mcore::ThreadPool& pool, RandomBuffer<double>& buf) {
+  fill_impl(pool, buf);
+}
+
+}  // namespace esthera::prng

@@ -1,0 +1,39 @@
+#include "prng/philox.hpp"
+
+namespace esthera::prng {
+namespace {
+
+constexpr std::uint32_t kMul0 = 0xD2511F53u;
+constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) {
+  const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+  hi = static_cast<std::uint32_t>(p >> 32);
+  lo = static_cast<std::uint32_t>(p);
+}
+
+inline Philox4x32::Counter round_once(const Philox4x32::Counter& c,
+                                      const Philox4x32::Key& k) {
+  std::uint32_t hi0, lo0, hi1, lo1;
+  mulhilo(kMul0, c[0], hi0, lo0);
+  mulhilo(kMul1, c[2], hi1, lo1);
+  return {hi1 ^ c[1] ^ k[0], lo1, hi0 ^ c[3] ^ k[1], lo0};
+}
+
+}  // namespace
+
+Philox4x32::Counter Philox4x32::generate(Counter ctr, Key key) {
+  for (int r = 0; r < 10; ++r) {
+    if (r > 0) {
+      key[0] += kWeyl0;
+      key[1] += kWeyl1;
+    }
+    ctr = round_once(ctr, key);
+  }
+  return ctr;
+}
+
+}  // namespace esthera::prng

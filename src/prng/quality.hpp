@@ -1,0 +1,96 @@
+// Statistical quality checks for uniform generators. The paper leans on
+// MT/MTGP's "good test results"; these are the checks this library applies
+// to its own generators in the test suite: chi-square uniformity over
+// equal-width bins, lag-k serial correlation, and a runs-above/below-mean
+// test. They are *assertions about generators*, so they live in the
+// library rather than the tests, usable by applications vetting a custom
+// generator against the same bar.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace esthera::prng {
+
+/// Chi-square statistic of `samples` (in [0,1)) against the uniform
+/// distribution over `bins` equal cells. Degrees of freedom = bins - 1;
+/// for large dof the statistic is approximately N(dof, 2 dof), so a value
+/// within dof +- 5 sqrt(2 dof) is comfortably unsuspicious.
+template <typename T>
+double chi_square_uniform(std::span<const T> samples, std::size_t bins) {
+  std::vector<std::size_t> counts(bins, 0);
+  for (const T u : samples) {
+    auto b = static_cast<std::size_t>(static_cast<double>(u) * static_cast<double>(bins));
+    if (b >= bins) b = bins - 1;
+    ++counts[b];
+  }
+  const double expected =
+      static_cast<double>(samples.size()) / static_cast<double>(bins);
+  double chi2 = 0.0;
+  for (const std::size_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+/// Sample autocorrelation of the sequence at lag k (expected ~0 for an
+/// independent stream; |r| < ~4/sqrt(n) is unsuspicious).
+template <typename T>
+double serial_correlation(std::span<const T> samples, std::size_t lag) {
+  const std::size_t n = samples.size();
+  if (n <= lag + 1) return 0.0;
+  double mean = 0.0;
+  for (const T v : samples) mean += static_cast<double>(v);
+  mean /= static_cast<double>(n);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(samples[i]) - mean;
+    den += d * d;
+    if (i + lag < n) {
+      num += d * (static_cast<double>(samples[i + lag]) - mean);
+    }
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+/// Result of the runs-above/below-median test.
+struct RunsTestResult {
+  std::size_t runs = 0;      ///< observed number of runs
+  double expected = 0.0;     ///< E[runs] under independence
+  double z_score = 0.0;      ///< (runs - E) / sd
+};
+
+/// Wald-Wolfowitz runs test around 0.5 for U(0,1) samples: counts maximal
+/// blocks of consecutive samples on the same side of 0.5. |z| < ~4 is
+/// unsuspicious for the sample sizes used in the tests.
+template <typename T>
+RunsTestResult runs_test(std::span<const T> samples) {
+  RunsTestResult r;
+  const std::size_t n = samples.size();
+  if (n < 2) return r;
+  std::size_t above = 0;
+  for (const T v : samples) {
+    if (static_cast<double>(v) >= 0.5) ++above;
+  }
+  const std::size_t below = n - above;
+  r.runs = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    const bool a = static_cast<double>(samples[i]) >= 0.5;
+    const bool b = static_cast<double>(samples[i - 1]) >= 0.5;
+    if (a != b) ++r.runs;
+  }
+  const double na = static_cast<double>(above);
+  const double nb = static_cast<double>(below);
+  const double nn = static_cast<double>(n);
+  r.expected = 2.0 * na * nb / nn + 1.0;
+  const double var =
+      (r.expected - 1.0) * (r.expected - 2.0) / (nn - 1.0);
+  r.z_score = var > 0.0 ? (static_cast<double>(r.runs) - r.expected) / std::sqrt(var)
+                        : 0.0;
+  return r;
+}
+
+}  // namespace esthera::prng

@@ -1,0 +1,3 @@
+#include "resample/ess.hpp"
+
+namespace esthera::resample {}

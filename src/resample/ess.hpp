@@ -1,0 +1,60 @@
+// Effective sample size and resampling policies. The paper (Sec. IV)
+// experimented with the ESS metric from the Arulampalam et al. tutorial and
+// with a simpler random-frequency scheme before settling on resampling
+// every round; all three policies are provided.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace esthera::resample {
+
+/// Effective sample size of a weight vector: (sum w)^2 / sum w^2.
+/// Equals n for uniform weights and 1 for a fully degenerate set.
+template <typename T>
+T effective_sample_size(std::span<const T> weights) {
+  T sum = T(0);
+  T sum_sq = T(0);
+  for (const T w : weights) {
+    sum += w;
+    sum_sq += w * w;
+  }
+  if (sum_sq <= T(0)) return T(0);
+  return (sum * sum) / sum_sq;
+}
+
+/// When to resample.
+struct ResamplePolicy {
+  enum class Kind {
+    kAlways,           ///< every round (the paper's final choice)
+    kEssThreshold,     ///< when ESS / n falls below `param`
+    kRandomFrequency,  ///< with probability `param` each round per sub-filter
+  };
+
+  Kind kind = Kind::kAlways;
+  double param = 0.5;
+
+  static ResamplePolicy always() { return {Kind::kAlways, 0.0}; }
+  static ResamplePolicy ess_threshold(double ratio) {
+    return {Kind::kEssThreshold, ratio};
+  }
+  static ResamplePolicy random_frequency(double prob) {
+    return {Kind::kRandomFrequency, prob};
+  }
+};
+
+/// Decides whether a (sub-)filter resamples this round.
+/// `ess_ratio` = ESS / n; `u` = a U(0,1) draw (used only by kRandomFrequency).
+inline bool should_resample(const ResamplePolicy& policy, double ess_ratio, double u) {
+  switch (policy.kind) {
+    case ResamplePolicy::Kind::kAlways:
+      return true;
+    case ResamplePolicy::Kind::kEssThreshold:
+      return ess_ratio < policy.param;
+    case ResamplePolicy::Kind::kRandomFrequency:
+      return u < policy.param;
+  }
+  return true;
+}
+
+}  // namespace esthera::resample

@@ -1,0 +1,3 @@
+#include "resample/rws.hpp"
+
+namespace esthera::resample {}

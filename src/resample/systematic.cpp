@@ -1,0 +1,3 @@
+#include "resample/systematic.hpp"
+
+namespace esthera::resample {}

@@ -1,0 +1,3 @@
+#include "resample/vose.hpp"
+
+namespace esthera::resample {}

@@ -1,0 +1,200 @@
+// Vose's alias method (Vose 1991; see also Schwarz, "Darts, Dice, and
+// Coins"). Theta(n) table initialization, Theta(1) per sample: each draw
+// uses two uniforms, one to pick a slot and one as the biased coin deciding
+// between the slot's particle and its alias.
+//
+// Two table builders are provided:
+//  * `vose_build`          - the classic two-worklist construction;
+//  * `vose_build_inplace`  - the paper's device variant (Sec. VI-F): one
+//    array filled forwards with "small" elements and backwards with "large"
+//    elements, then processed min(#large, #small) pairs at a time, the
+//    round structure whose dwindling concurrency makes Vose lose to RWS on
+//    small sub-filters (Fig 5).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace esthera::resample {
+
+/// Alias table over n outcomes: slot i holds its own scaled probability
+/// `prob[i]` in [0,1] and a fallback outcome `alias[i]`.
+template <typename T>
+struct AliasTable {
+  std::vector<T> prob;
+  std::vector<std::uint32_t> alias;
+
+  void resize(std::size_t n) {
+    prob.assign(n, T(1));
+    alias.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) alias[i] = static_cast<std::uint32_t>(i);
+  }
+  [[nodiscard]] std::size_t size() const { return prob.size(); }
+};
+
+/// Classic two-worklist Vose construction from non-negative weights
+/// (not necessarily normalized; total must be positive).
+template <typename T>
+void vose_build(std::span<const T> weights, AliasTable<T>& table) {
+  const std::size_t n = weights.size();
+  table.resize(n);
+  if (n == 0) return;
+  T total = T(0);
+  for (const T w : weights) total += w;
+  assert(total > T(0));
+
+  std::vector<T> scaled(n);
+  const T scale = static_cast<T>(n) / total;
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < T(1) ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    table.prob[s] = scaled[s];
+    table.alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - T(1);
+    (scaled[l] < T(1) ? small : large).push_back(l);
+  }
+  // Remaining entries get probability 1 (floating-point residue handling).
+  for (const std::uint32_t l : large) table.prob[l] = T(1);
+  for (const std::uint32_t s : small) table.prob[s] = T(1);
+}
+
+/// The paper's in-place device construction over caller-provided scratch: a
+/// single index array is filled forwards with small and backwards with
+/// large elements (on the device via atomics), then weight is transferred
+/// round by round over min(#small, #large) pairs, re-classifying donors
+/// whose residual drops below 1/n. Produces a valid alias table with the
+/// same distribution as `vose_build`; the per-round pairing mirrors the
+/// device schedule, so the concurrency collapse the paper reports (Fig 5)
+/// is observable in the benchmarks.
+///
+/// All four scratch spans have size n; `prob`/`alias` receive the table.
+/// Allocation-free, usable from the device hot path.
+///
+/// `rounds_out`, when non-null, receives the number of lock-step pairing
+/// rounds the construction needed. On the real device every round is a
+/// barrier with concurrency min(#small, #large), which "usually drops
+/// steeply towards one" (paper Sec. VI-F) - the round count is the
+/// critical-path length that makes device-side Vose lose to RWS on small
+/// sub-filters (Fig 5).
+template <typename T>
+void vose_build_inplace(std::span<const T> weights, std::span<T> prob,
+                        std::span<std::uint32_t> alias, std::span<T> scaled,
+                        std::span<std::uint32_t> slots,
+                        std::size_t* rounds_out = nullptr) {
+  const std::size_t n = weights.size();
+  assert(prob.size() == n && alias.size() == n);
+  assert(scaled.size() == n && slots.size() == n);
+  if (n == 0) return;
+  T total = T(0);
+  for (const T w : weights) total += w;
+  assert(total > T(0));
+
+  const T scale = static_cast<T>(n) / total;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * scale;
+    prob[i] = T(1);
+    alias[i] = static_cast<std::uint32_t>(i);
+  }
+
+  // Segregation pass (device: one thread per particle, atomic head/tail).
+  std::size_t head = 0;  // next free slot for a small element
+  std::size_t tail = n;  // one past the last free slot for a large one
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scaled[i] < T(1)) {
+      slots[head++] = static_cast<std::uint32_t>(i);
+    } else {
+      slots[--tail] = static_cast<std::uint32_t>(i);
+    }
+  }
+  // Smalls occupy slots[s_lo, s_hi); larges occupy slots[l_lo, n).
+  std::size_t s_lo = 0;
+  std::size_t s_hi = head;
+  std::size_t l_lo = tail;
+
+  std::size_t rounds = 0;
+  while (s_lo < s_hi && l_lo < n) {
+    ++rounds;
+    const std::size_t pairs = std::min(s_hi - s_lo, n - l_lo);
+    // One lock-step round: k-th pending small pairs with k-th pending large.
+    for (std::size_t k = 0; k < pairs; ++k) {
+      const std::uint32_t s = slots[s_lo + k];
+      const std::uint32_t l = slots[l_lo + k];
+      prob[s] = scaled[s];
+      alias[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - T(1);
+    }
+    // Demoted donors move into the consumed small slots; surviving donors
+    // compact rightwards within the large region. The regions are disjoint,
+    // so both compactions stay in the one shared array.
+    std::size_t demoted = 0;
+    for (std::size_t k = 0; k < pairs; ++k) {
+      const std::uint32_t l = slots[l_lo + k];
+      if (scaled[l] < T(1)) slots[s_lo + demoted++] = l;
+    }
+    std::size_t write = l_lo + pairs;
+    for (std::size_t k = pairs; k-- > 0;) {
+      const std::uint32_t l = slots[l_lo + k];
+      if (scaled[l] >= T(1)) slots[--write] = l;
+    }
+    l_lo = write;
+    // Shift the demoted block to sit directly before the untouched smalls.
+    for (std::size_t k = demoted; k-- > 0;) {
+      slots[s_lo + pairs - demoted + k] = slots[s_lo + k];
+    }
+    s_lo += pairs - demoted;
+  }
+  // Leftovers keep probability 1 (already initialized above); floating-point
+  // residue can leave either side non-empty.
+  if (rounds_out != nullptr) *rounds_out = rounds;
+}
+
+/// Convenience overload building into an AliasTable (allocating variant).
+template <typename T>
+void vose_build_inplace(std::span<const T> weights, AliasTable<T>& table,
+                        std::span<std::uint32_t> slots) {
+  table.resize(weights.size());
+  std::vector<T> scaled(weights.size());
+  vose_build_inplace<T>(weights, std::span<T>(table.prob),
+                        std::span<std::uint32_t>(table.alias),
+                        std::span<T>(scaled), slots);
+}
+
+/// Draws `out.size()` outcomes from an alias table given as spans,
+/// consuming two uniforms per draw: uniforms[2s] selects the slot,
+/// uniforms[2s+1] is the coin.
+template <typename T>
+void vose_sample(std::span<const T> prob, std::span<const std::uint32_t> alias,
+                 std::span<const T> uniforms, std::span<std::uint32_t> out) {
+  const std::size_t n = prob.size();
+  assert(n > 0 && alias.size() == n);
+  assert(uniforms.size() >= 2 * out.size());
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    std::size_t slot = static_cast<std::size_t>(uniforms[2 * s] * static_cast<T>(n));
+    if (slot >= n) slot = n - 1;  // u == 1.0 cannot happen, but be safe
+    const bool keep = uniforms[2 * s + 1] < prob[slot];
+    out[s] = keep ? static_cast<std::uint32_t>(slot) : alias[slot];
+  }
+}
+
+/// AliasTable convenience overload.
+template <typename T>
+void vose_sample(const AliasTable<T>& table, std::span<const T> uniforms,
+                 std::span<std::uint32_t> out) {
+  vose_sample<T>(table.prob, table.alias, uniforms, out);
+}
+
+}  // namespace esthera::resample

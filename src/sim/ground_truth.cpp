@@ -1,0 +1,90 @@
+#include "sim/ground_truth.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace esthera::sim {
+namespace {
+
+models::RobotArmModel<double> build_model(const RobotArmScenarioConfig& cfg) {
+  return models::RobotArmModel<double>(cfg.arm);
+}
+
+}  // namespace
+
+RobotArmScenario::RobotArmScenario(RobotArmScenarioConfig config)
+    : cfg_(config),
+      model_(build_model(cfg_)),
+      path_(cfg_.lemniscate_a, cfg_.lemniscate_omega, cfg_.path_cx, cfg_.path_cy),
+      rng_(1u) {
+  reset(1);
+}
+
+void RobotArmScenario::rebuild_init_mean() {
+  init_mean_ = truth_;
+  const std::size_t j = cfg_.arm.n_joints;
+  // Filters start "off the ground truth" (Fig 8): bias the object estimate.
+  init_mean_[j + 0] += cfg_.init_object_offset;
+  init_mean_[j + 1] += cfg_.init_object_offset;
+}
+
+void RobotArmScenario::reset(std::uint64_t seed) {
+  rng_.reseed(static_cast<std::uint32_t>((seed ^ (seed >> 32)) | 1u));
+  step_ = 0;
+  time_ = 0.0;
+  const std::size_t j = cfg_.arm.n_joints;
+  truth_.assign(model_.state_dim(), 0.0);
+  // Arm starts with gentle upward pitch so the camera sees the ground plane.
+  for (std::size_t i = 1; i < j; ++i) truth_[i] = 0.2;
+  const PathPoint p0 = path_.at(0.0);
+  truth_[j + 0] = p0.x;
+  truth_[j + 1] = p0.y;
+  truth_[j + 2] = p0.vx;
+  truth_[j + 3] = p0.vy;
+  rebuild_init_mean();
+}
+
+StepData<double> RobotArmScenario::advance() {
+  const std::size_t j = cfg_.arm.n_joints;
+  const double h = cfg_.arm.dt;
+  StepData<double> out;
+
+  // Known joint-rate controls: slow sinusoids, one phase per joint.
+  out.u.resize(j);
+  for (std::size_t i = 0; i < j; ++i) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                         static_cast<double>(j);
+    out.u[i] = cfg_.control_amplitude *
+               std::sin(2.0 * std::numbers::pi * static_cast<double>(step_) /
+                            cfg_.control_period_steps +
+                        phase);
+  }
+
+  prng::NormalSource<double, prng::Mt19937> normal(rng_);
+
+  // True joint angles follow the model's single-integrator dynamics.
+  for (std::size_t i = 0; i < j; ++i) {
+    truth_[i] += h * out.u[i] + cfg_.arm.sigma_theta * normal();
+  }
+  // True object follows the lemniscate exactly (model mismatch on purpose).
+  time_ += h;
+  const PathPoint p = path_.at(time_);
+  truth_[j + 0] = p.x;
+  truth_[j + 1] = p.y;
+  truth_[j + 2] = p.vx;
+  truth_[j + 3] = p.vy;
+
+  out.truth = truth_;
+
+  // Noisy measurement through the model's measurement kernel.
+  out.z.assign(model_.measurement_dim(), 0.0);
+  std::vector<double> mnoise(model_.measurement_noise_dim());
+  for (auto& v : mnoise) v = normal();
+  model_.sample_measurement(std::span<const double>(truth_), std::span<double>(out.z),
+                            mnoise);
+
+  ++step_;
+  return out;
+}
+
+}  // namespace esthera::sim

@@ -1,0 +1,174 @@
+// Ground-truth generation (paper Sec. VIII-A: "a particle filter can be
+// checked to see if it converges to a known correct state under various
+// noise levels and filter configurations").
+//
+// `ModelSimulator` evolves a true state with the model's own transition
+// kernel and draws measurements from its measurement kernel - the
+// model-faithful case. `RobotArmScenario` reproduces the paper's benchmark
+// scenario: the arm's joints follow known control inputs (with process
+// noise) while the object moves along a prescribed lemniscate, so the
+// filter's double-integrator object model is deliberately mismatched, as in
+// any real tracking task.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "models/model.hpp"
+#include "models/robot_arm.hpp"
+#include "prng/distributions.hpp"
+#include "prng/mt19937.hpp"
+#include "sim/trajectory.hpp"
+
+namespace esthera::sim {
+
+/// One simulated time step handed to a filter.
+template <typename T>
+struct StepData {
+  std::vector<T> truth;  ///< true state x_k
+  std::vector<T> u;      ///< control input applied over [k-1, k)
+  std::vector<T> z;      ///< noisy measurement z_k
+};
+
+/// Model-faithful simulator: truth evolves by the model's own kernels.
+template <typename Model>
+class ModelSimulator {
+ public:
+  using T = typename Model::Scalar;
+  static_assert(models::SystemModel<Model>);
+
+  ModelSimulator(const Model& model, std::uint64_t seed)
+      : model_(model), rng_(static_cast<std::uint32_t>(seed ^ (seed >> 32))) {
+    reset(seed);
+  }
+
+  /// Restarts the simulation with a fresh seed; draws the initial state
+  /// from the model's initial distribution.
+  void reset(std::uint64_t seed) {
+    rng_.reseed(static_cast<std::uint32_t>((seed ^ (seed >> 32)) | 1u));
+    step_ = 0;
+    truth_.assign(model_.state_dim(), T(0));
+    std::vector<T> normals(model_.init_noise_dim());
+    draw_normals(normals);
+    model_.sample_initial(std::span<T>(truth_), normals);
+  }
+
+  /// Advances one step under control `u` and returns truth + measurement.
+  StepData<T> advance(std::span<const T> u = {}) {
+    StepData<T> out;
+    out.u.assign(u.begin(), u.end());
+    std::vector<T> normals(model_.noise_dim());
+    draw_normals(normals);
+    std::vector<T> next(model_.state_dim());
+    model_.sample_transition(std::span<const T>(truth_), std::span<T>(next), u,
+                             normals, step_);
+    truth_ = std::move(next);
+    out.truth = truth_;
+    out.z.assign(model_.measurement_dim(), T(0));
+    std::vector<T> mnoise(model_.measurement_noise_dim());
+    draw_normals(mnoise);
+    model_.sample_measurement(std::span<const T>(truth_), std::span<T>(out.z), mnoise);
+    ++step_;
+    return out;
+  }
+
+  [[nodiscard]] std::span<const T> truth() const { return truth_; }
+  [[nodiscard]] std::size_t step() const { return step_; }
+  [[nodiscard]] const Model& model() const { return model_; }
+  /// Mutable model access for time-varying model state (e.g. the
+  /// bearings-only observer position, updated each step).
+  [[nodiscard]] Model& model_mutable() { return model_; }
+
+ private:
+  void draw_normals(std::span<T> out) {
+    for (std::size_t i = 0; i + 1 < out.size(); i += 2) {
+      const auto [z0, z1] = prng::box_muller(prng::uniform01<T>(rng_),
+                                             prng::uniform01<T>(rng_));
+      out[i] = z0;
+      out[i + 1] = z1;
+    }
+    if (out.size() % 2 == 1) {
+      const auto [z0, z1] = prng::box_muller(prng::uniform01<T>(rng_),
+                                             prng::uniform01<T>(rng_));
+      out[out.size() - 1] = z0;
+      (void)z1;
+    }
+  }
+
+  Model model_;
+  prng::Mt19937 rng_;
+  std::vector<T> truth_;
+  std::size_t step_ = 0;
+};
+
+/// Configuration of the robot-arm tracking scenario.
+struct RobotArmScenarioConfig {
+  models::RobotArmParams<double> arm{};  ///< model/noise parameters (Table II)
+  double lemniscate_a = 1.2;             ///< path half-width [m]
+  double lemniscate_omega = 0.4;         ///< path angular rate [rad/s]
+  double path_cx = 1.6;                  ///< path center (in front of the arm)
+  double path_cy = 0.0;
+  double control_amplitude = 0.15;       ///< joint-rate sinusoid amplitude [rad/s]
+  double control_period_steps = 160.0;   ///< joint-rate sinusoid period [steps]
+  double init_object_offset = 0.3;       ///< filter's initial object-position bias [m]
+};
+
+/// The paper's benchmark scenario (Sec. VII-A / Fig 8).
+class RobotArmScenario {
+ public:
+  explicit RobotArmScenario(RobotArmScenarioConfig config = {});
+
+  /// Restarts the run: truth back to t=0, fresh noise stream.
+  void reset(std::uint64_t seed);
+
+  /// Advances one sampling period; returns truth, applied control, and the
+  /// noisy measurement for the filter.
+  StepData<double> advance();
+
+  /// The model a filter of scalar type T should run, including the initial
+  /// mean (truth plus the configured object offset, so filters start "off
+  /// the ground truth" as in Fig 8).
+  template <typename T>
+  [[nodiscard]] models::RobotArmModel<T> make_model() const {
+    models::RobotArmParams<T> p;
+    p.n_joints = cfg_.arm.n_joints;
+    p.arm_length = static_cast<T>(cfg_.arm.arm_length);
+    p.base_height = static_cast<T>(cfg_.arm.base_height);
+    p.dt = static_cast<T>(cfg_.arm.dt);
+    p.sigma_theta = static_cast<T>(cfg_.arm.sigma_theta);
+    p.sigma_pos = static_cast<T>(cfg_.arm.sigma_pos);
+    p.sigma_vel = static_cast<T>(cfg_.arm.sigma_vel);
+    p.meas_sigma_theta = static_cast<T>(cfg_.arm.meas_sigma_theta);
+    p.meas_sigma_cam = static_cast<T>(cfg_.arm.meas_sigma_cam);
+    p.init_sigma_theta = static_cast<T>(cfg_.arm.init_sigma_theta);
+    p.init_sigma_pos = static_cast<T>(cfg_.arm.init_sigma_pos);
+    p.init_sigma_vel = static_cast<T>(cfg_.arm.init_sigma_vel);
+    std::vector<T> mean(init_mean_.size());
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] = static_cast<T>(init_mean_[i]);
+    return models::RobotArmModel<T>(p, std::move(mean));
+  }
+
+  [[nodiscard]] const RobotArmScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] const models::RobotArmModel<double>& model() const { return model_; }
+  [[nodiscard]] std::span<const double> truth() const { return truth_; }
+  [[nodiscard]] std::size_t step() const { return step_; }
+
+  /// True object position at the current step.
+  [[nodiscard]] PathPoint object_truth() const { return path_.at(time_); }
+
+ private:
+  void rebuild_init_mean();
+
+  RobotArmScenarioConfig cfg_;
+  models::RobotArmModel<double> model_;
+  Lemniscate path_;
+  prng::Mt19937 rng_;
+  std::vector<double> truth_;      // full true state (angles + object)
+  std::vector<double> init_mean_;  // filters' initial-state mean
+  std::size_t step_ = 0;
+  double time_ = 0.0;
+};
+
+}  // namespace esthera::sim

@@ -1,0 +1,80 @@
+#include "sim/trajectory.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace esthera::sim {
+
+PathPoint Lemniscate::at(double t) const {
+  const double s = omega_ * t;
+  const double sin_s = std::sin(s);
+  const double cos_s = std::cos(s);
+  const double denom = 1.0 + sin_s * sin_s;
+  PathPoint p;
+  p.x = cx_ + a_ * cos_s / denom;
+  p.y = cy_ + a_ * sin_s * cos_s / denom;
+  // Analytic derivatives (chain rule, d/dt = omega d/ds).
+  const double denom2 = denom * denom;
+  const double dx_ds = a_ * (-sin_s * denom - cos_s * 2.0 * sin_s * cos_s) / denom2;
+  const double cos2s = cos_s * cos_s - sin_s * sin_s;  // cos(2s)
+  const double dy_ds =
+      a_ * (cos2s * denom - sin_s * cos_s * 2.0 * sin_s * cos_s) / denom2;
+  p.vx = omega_ * dx_ds;
+  p.vy = omega_ * dy_ds;
+  return p;
+}
+
+double Lemniscate::period() const { return 2.0 * std::numbers::pi / omega_; }
+
+PathPoint Circle::at(double t) const {
+  const double s = omega_ * t;
+  PathPoint p;
+  p.x = cx_ + r_ * std::cos(s);
+  p.y = cy_ + r_ * std::sin(s);
+  p.vx = -r_ * omega_ * std::sin(s);
+  p.vy = r_ * omega_ * std::cos(s);
+  return p;
+}
+
+double Circle::period() const { return 2.0 * std::numbers::pi / omega_; }
+
+WaypointPath::WaypointPath(std::vector<Waypoint> points, double speed)
+    : points_(std::move(points)), speed_(speed) {
+  assert(points_.size() >= 2 && speed_ > 0.0);
+  cum_len_.resize(points_.size(), 0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dx = points_[i].x - points_[i - 1].x;
+    const double dy = points_[i].y - points_[i - 1].y;
+    cum_len_[i] = cum_len_[i - 1] + std::sqrt(dx * dx + dy * dy);
+  }
+  total_len_ = cum_len_.back();
+}
+
+PathPoint WaypointPath::at(double t) const {
+  PathPoint p;
+  double dist = t * speed_;
+  if (dist <= 0.0) {
+    p.x = points_.front().x;
+    p.y = points_.front().y;
+    return p;
+  }
+  if (dist >= total_len_) {
+    p.x = points_.back().x;
+    p.y = points_.back().y;
+    return p;  // stopped at the end: zero velocity
+  }
+  std::size_t seg = 1;
+  while (cum_len_[seg] < dist) ++seg;
+  const double seg_len = cum_len_[seg] - cum_len_[seg - 1];
+  const double f = (dist - cum_len_[seg - 1]) / seg_len;
+  const double dx = points_[seg].x - points_[seg - 1].x;
+  const double dy = points_[seg].y - points_[seg - 1].y;
+  p.x = points_[seg - 1].x + f * dx;
+  p.y = points_[seg - 1].y + f * dy;
+  p.vx = speed_ * dx / seg_len;
+  p.vy = speed_ * dy / seg_len;
+  return p;
+}
+
+}  // namespace esthera::sim

@@ -1,0 +1,80 @@
+// Reference trajectories for the tracked object. The paper's validation
+// drives the object along a lemniscate ("Fig 8: Trajectory Lemniscate
+// ground truth"); a circle and a waypoint path are provided for additional
+// scenarios.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace esthera::sim {
+
+/// Position and velocity of a point moving on a planar path.
+struct PathPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+};
+
+/// Lemniscate of Bernoulli, centered at (cx, cy), half-width `a`, traversed
+/// with angular rate `omega` [rad/s]:
+///   x(t) = cx + a cos s / (1 + sin^2 s),  y(t) = cy + a sin s cos s / (1 + sin^2 s)
+/// with s = omega t. The curve starts at the right lobe tip heading up,
+/// matching the paper's Fig 8 description.
+class Lemniscate {
+ public:
+  Lemniscate(double a, double omega, double cx = 0.0, double cy = 0.0)
+      : a_(a), omega_(omega), cx_(cx), cy_(cy) {}
+
+  [[nodiscard]] PathPoint at(double t) const;
+
+  /// Path period in seconds (one full figure-eight).
+  [[nodiscard]] double period() const;
+
+ private:
+  double a_;
+  double omega_;
+  double cx_;
+  double cy_;
+};
+
+/// Circle of radius r, angular rate omega, centered at (cx, cy).
+class Circle {
+ public:
+  Circle(double r, double omega, double cx = 0.0, double cy = 0.0)
+      : r_(r), omega_(omega), cx_(cx), cy_(cy) {}
+
+  [[nodiscard]] PathPoint at(double t) const;
+  [[nodiscard]] double period() const;
+
+ private:
+  double r_;
+  double omega_;
+  double cx_;
+  double cy_;
+};
+
+/// Piecewise-linear path through waypoints at constant speed.
+class WaypointPath {
+ public:
+  struct Waypoint {
+    double x;
+    double y;
+  };
+
+  WaypointPath(std::vector<Waypoint> points, double speed);
+
+  [[nodiscard]] PathPoint at(double t) const;
+
+  /// Total traversal time; `at` clamps beyond it (the object stops).
+  [[nodiscard]] double duration() const { return total_len_ / speed_; }
+
+ private:
+  std::vector<Waypoint> points_;
+  std::vector<double> cum_len_;  // cumulative length up to point i
+  double speed_;
+  double total_len_ = 0.0;
+};
+
+}  // namespace esthera::sim

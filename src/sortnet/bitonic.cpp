@@ -1,0 +1,11 @@
+#include "sortnet/bitonic.hpp"
+
+namespace esthera::sortnet {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace esthera::sortnet

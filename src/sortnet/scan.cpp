@@ -1,0 +1,5 @@
+#include "sortnet/scan.hpp"
+
+// Template implementations live in the header; this translation unit keeps
+// the module present in the library and anchors its debug symbols.
+namespace esthera::sortnet {}

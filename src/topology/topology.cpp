@@ -1,0 +1,93 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esthera::topology {
+
+const char* to_string(ExchangeScheme scheme) {
+  switch (scheme) {
+    case ExchangeScheme::kNone: return "none";
+    case ExchangeScheme::kAllToAll: return "all-to-all";
+    case ExchangeScheme::kRing: return "ring";
+    case ExchangeScheme::kTorus2D: return "torus";
+  }
+  return "?";
+}
+
+ExchangeScheme parse_scheme(const std::string& name) {
+  if (name == "none") return ExchangeScheme::kNone;
+  if (name == "all-to-all" || name == "all2all" || name == "a2a") {
+    return ExchangeScheme::kAllToAll;
+  }
+  if (name == "ring") return ExchangeScheme::kRing;
+  if (name == "torus" || name == "torus2d" || name == "2d-torus") {
+    return ExchangeScheme::kTorus2D;
+  }
+  throw std::invalid_argument("unknown exchange scheme: " + name);
+}
+
+TorusShape torus_shape(std::size_t n_filters) {
+  TorusShape shape;
+  if (n_filters == 0) return shape;
+  std::size_t best = 1;
+  for (std::size_t r = 1; r * r <= n_filters; ++r) {
+    if (n_filters % r == 0) best = r;
+  }
+  shape.rows = best;
+  shape.cols = n_filters / best;
+  return shape;
+}
+
+std::vector<std::uint32_t> neighbors(ExchangeScheme scheme, std::size_t n_filters,
+                                     std::uint32_t id) {
+  std::vector<std::uint32_t> out;
+  if (n_filters <= 1 || is_pooled(scheme)) return out;
+  const auto push_unique = [&](std::uint32_t v) {
+    if (v != id && std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  };
+  switch (scheme) {
+    case ExchangeScheme::kNone:
+    case ExchangeScheme::kAllToAll:
+      break;
+    case ExchangeScheme::kRing: {
+      const auto n = static_cast<std::uint32_t>(n_filters);
+      push_unique((id + 1) % n);
+      push_unique((id + n - 1) % n);
+      break;
+    }
+    case ExchangeScheme::kTorus2D: {
+      const TorusShape shape = torus_shape(n_filters);
+      const auto rows = static_cast<std::uint32_t>(shape.rows);
+      const auto cols = static_cast<std::uint32_t>(shape.cols);
+      const std::uint32_t r = id / cols;
+      const std::uint32_t c = id % cols;
+      push_unique(r * cols + (c + 1) % cols);
+      push_unique(r * cols + (c + cols - 1) % cols);
+      push_unique(((r + 1) % rows) * cols + c);
+      push_unique(((r + rows - 1) % rows) * cols + c);
+      break;
+    }
+  }
+  return out;
+}
+
+std::size_t max_degree(ExchangeScheme scheme, std::size_t n_filters) {
+  if (n_filters <= 1) return 0;
+  switch (scheme) {
+    case ExchangeScheme::kNone:
+    case ExchangeScheme::kAllToAll:
+      return 0;
+    case ExchangeScheme::kRing:
+      return n_filters > 2 ? 2 : 1;
+    case ExchangeScheme::kTorus2D: {
+      // Degenerate grids (1 x n) reduce to a ring; 2-wide dimensions merge
+      // the +1/-1 neighbours. Compute the true maximum over node 0's row
+      // and column; the torus is vertex-transitive so every node matches.
+      return neighbors(scheme, n_filters, 0).size();
+    }
+  }
+  return 0;
+}
+
+}  // namespace esthera::topology

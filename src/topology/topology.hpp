@@ -1,0 +1,53 @@
+// Particle-exchange topologies connecting the sub-filters (paper Sec. IV,
+// Fig 1): All-to-All, Ring, and 2D Torus. Ring and Torus exchange the t
+// best local particles with each neighbour pair; All-to-All pools t
+// particles from every sub-filter and hands everyone back the same global
+// top-t, which is exactly the diversity-destroying behaviour Fig 6a shows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esthera::topology {
+
+enum class ExchangeScheme : std::uint8_t {
+  kNone,      ///< no exchange (isolated sub-filters; the t=0 case of Fig 7)
+  kAllToAll,  ///< global pool of best particles
+  kRing,      ///< each filter exchanges with its two ring neighbours
+  kTorus2D,   ///< 4-neighbour wrap-around grid
+};
+
+[[nodiscard]] const char* to_string(ExchangeScheme scheme);
+
+/// Parses "none" / "all-to-all" / "ring" / "torus"; throws std::invalid_argument.
+[[nodiscard]] ExchangeScheme parse_scheme(const std::string& name);
+
+/// Grid shape used for the 2D torus: rows x cols = n with rows the largest
+/// divisor of n not exceeding sqrt(n) (so the grid is as square as n allows).
+struct TorusShape {
+  std::size_t rows = 1;
+  std::size_t cols = 1;
+};
+
+[[nodiscard]] TorusShape torus_shape(std::size_t n_filters);
+
+/// Distinct neighbour ids of `id` under `scheme` (excluding `id` itself).
+/// For kAllToAll the exchange is implemented through a global pool rather
+/// than pairwise sends, so this returns an empty list; use
+/// `is_pooled(scheme)` to distinguish pooled from pairwise schemes.
+[[nodiscard]] std::vector<std::uint32_t> neighbors(ExchangeScheme scheme,
+                                                   std::size_t n_filters,
+                                                   std::uint32_t id);
+
+/// True for schemes whose exchange goes through a single global pool.
+[[nodiscard]] constexpr bool is_pooled(ExchangeScheme scheme) {
+  return scheme == ExchangeScheme::kAllToAll;
+}
+
+/// Maximum neighbour count any filter has under `scheme` (0 for kNone and
+/// pooled schemes); used to size exchange mailboxes.
+[[nodiscard]] std::size_t max_degree(ExchangeScheme scheme, std::size_t n_filters);
+
+}  // namespace esthera::topology

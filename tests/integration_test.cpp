@@ -1,0 +1,163 @@
+// Integration tests: scaled-down statistical reproductions of the paper's
+// figure-level claims, run at test-suite-friendly sizes with generous
+// margins. The full-protocol versions live in bench/ (see EXPERIMENTS.md);
+// these guard the *directions* of the results against regressions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/centralized_pf.hpp"
+#include "core/distributed_pf.hpp"
+#include "estimation/metrics.hpp"
+#include "models/robot_arm.hpp"
+#include "sim/ground_truth.hpp"
+
+namespace {
+
+using namespace esthera;
+
+/// RMSE of a distributed configuration over several runs (steps 10..60).
+double dist_rmse(core::FilterConfig cfg, std::size_t runs = 6) {
+  estimation::ErrorAccumulator err;
+  sim::RobotArmScenario scenario;
+  const std::size_t j = scenario.config().arm.n_joints;
+  std::vector<float> z, u;
+  for (std::size_t r = 0; r < runs; ++r) {
+    scenario.reset(300 + r);
+    cfg.seed = 7 + 31 * r;
+    cfg.workers = 1;
+    core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+        scenario.make_model<float>(), cfg);
+    for (int k = 0; k < 60; ++k) {
+      const auto step = scenario.advance();
+      z.assign(step.z.begin(), step.z.end());
+      u.assign(step.u.begin(), step.u.end());
+      pf.step(z, u);
+      if (k >= 10) {
+        const double ex = static_cast<double>(pf.estimate()[j + 0]) - step.truth[j + 0];
+        const double ey = static_cast<double>(pf.estimate()[j + 1]) - step.truth[j + 1];
+        err.add_step(std::vector<double>{ex, ey});
+      }
+    }
+  }
+  return err.rmse();
+}
+
+double cent_rmse(std::size_t total, std::size_t runs = 6) {
+  estimation::ErrorAccumulator err;
+  sim::RobotArmScenario scenario;
+  const std::size_t j = scenario.config().arm.n_joints;
+  for (std::size_t r = 0; r < runs; ++r) {
+    scenario.reset(300 + r);
+    core::CentralizedOptions opts;
+    opts.seed = 7 + 31 * r;
+    core::CentralizedParticleFilter<models::RobotArmModel<double>> pf(
+        scenario.make_model<double>(), total, opts);
+    for (int k = 0; k < 60; ++k) {
+      const auto step = scenario.advance();
+      pf.step(step.z, step.u);
+      if (k >= 10) {
+        const double ex = pf.estimate()[j + 0] - step.truth[j + 0];
+        const double ey = pf.estimate()[j + 1] - step.truth[j + 1];
+        err.add_step(std::vector<double>{ex, ey});
+      }
+    }
+  }
+  return err.rmse();
+}
+
+core::FilterConfig make_cfg(std::size_t m, std::size_t n,
+                            topology::ExchangeScheme scheme, std::size_t t) {
+  core::FilterConfig cfg;
+  cfg.particles_per_filter = m;
+  cfg.num_filters = n;
+  cfg.scheme = scheme;
+  cfg.exchange_particles = t;
+  return cfg;
+}
+
+// Fig 7 direction: no exchange is clearly worse than exchanging a single
+// particle per neighbour pair.
+TEST(Integration, Fig7ExchangeBeatsNoExchange) {
+  using X = topology::ExchangeScheme;
+  const double t0 = dist_rmse(make_cfg(16, 64, X::kNone, 0));
+  const double t1 = dist_rmse(make_cfg(16, 64, X::kRing, 1));
+  EXPECT_GT(t0, t1 * 1.4);
+}
+
+// Fig 7 direction: beyond one particle the improvement is minor.
+TEST(Integration, Fig7MoreThanOneParticleIsMinor) {
+  using X = topology::ExchangeScheme;
+  const double t1 = dist_rmse(make_cfg(16, 64, X::kRing, 1));
+  const double t2 = dist_rmse(make_cfg(16, 64, X::kRing, 2));
+  EXPECT_LT(t2, t1 * 1.5);
+  EXPECT_GT(t2, t1 * 0.5);
+}
+
+// Fig 6a direction: All-to-All loses diversity and delivers worse
+// estimates than Ring in a large network.
+TEST(Integration, Fig6AllToAllWorseThanRingAtScale) {
+  using X = topology::ExchangeScheme;
+  const double a2a = dist_rmse(make_cfg(16, 256, X::kAllToAll, 1));
+  const double ring = dist_rmse(make_cfg(16, 256, X::kRing, 1));
+  EXPECT_GT(a2a, ring * 1.1);
+}
+
+// Fig 6b/c direction: a low particle count per sub-filter is compensated
+// by adding more sub-filters.
+TEST(Integration, Fig6MoreSubFiltersCompensateSmallOnes) {
+  using X = topology::ExchangeScheme;
+  const double small_net = dist_rmse(make_cfg(8, 16, X::kRing, 1));
+  const double large_net = dist_rmse(make_cfg(8, 256, X::kRing, 1));
+  EXPECT_GT(small_net, large_net * 1.5);
+}
+
+// Fig 9 direction: a properly configured distributed filter matches the
+// centralized filter at the same total particle count.
+TEST(Integration, Fig9DistributedMatchesCentralized) {
+  using X = topology::ExchangeScheme;
+  const double dist = dist_rmse(make_cfg(16, 64, X::kRing, 1));  // 1024 total
+  const double cent = cent_rmse(1024);
+  EXPECT_LT(dist, cent * 1.5);
+}
+
+// Mechanism behind Fig 6a: All-to-All feeds every sub-filter the same elite
+// particles, so resampling concentrates on fewer distinct parents than the
+// Ring exchange does.
+TEST(Integration, Fig6AllToAllReducesParentDiversity) {
+  using X = topology::ExchangeScheme;
+  const auto diversity = [&](X scheme) {
+    sim::RobotArmScenario scenario;
+    scenario.reset(12);
+    core::FilterConfig cfg = make_cfg(16, 64, scheme, 2);
+    cfg.workers = 1;
+    core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+        scenario.make_model<float>(), cfg);
+    std::vector<float> z, u;
+    double sum = 0.0;
+    for (int k = 0; k < 30; ++k) {
+      const auto step = scenario.advance();
+      z.assign(step.z.begin(), step.z.end());
+      u.assign(step.u.begin(), step.u.end());
+      pf.step(z, u);
+      sum += pf.mean_unique_parent_fraction();
+    }
+    return sum / 30.0;
+  };
+  const double a2a = diversity(X::kAllToAll);
+  const double ring = diversity(X::kRing);
+  EXPECT_GT(ring, 0.1);
+  EXPECT_LT(a2a, ring);
+}
+
+// Sec. VIII direction: extreme sub-filter sizes lose accuracy.
+TEST(Integration, Fig9ExtremeConfigurationLosesAccuracy) {
+  using X = topology::ExchangeScheme;
+  // 1024 particles as 256 sub-filters of 4: below any useful local size.
+  const double extreme = dist_rmse(make_cfg(4, 256, X::kRing, 1));
+  const double sane = dist_rmse(make_cfg(16, 64, X::kRing, 1));
+  EXPECT_GT(extreme, sane * 1.2);
+}
+
+}  // namespace

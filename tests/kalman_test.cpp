@@ -1,0 +1,166 @@
+// Kalman-filter baseline tests: the linear KF tracks a constant-velocity
+// target and its covariance settles; the EKF reduces to the KF on a linear
+// system and tracks a genuinely nonlinear one; both serve as PF oracles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "estimation/kalman.hpp"
+#include "estimation/metrics.hpp"
+
+namespace {
+
+using namespace esthera::estimation;
+
+struct CvSetup {
+  Matrix a{2, 2}, b{0, 0}, c{1, 2}, q{2, 2}, r{1, 1}, p0{2, 2};
+  std::vector<double> x0{0.0, 0.0};
+
+  CvSetup() {
+    const double dt = 0.1;
+    a(0, 0) = 1; a(0, 1) = dt; a(1, 0) = 0; a(1, 1) = 1;
+    c(0, 0) = 1; c(0, 1) = 0;
+    q(0, 0) = 1e-4; q(1, 1) = 1e-3;
+    r(0, 0) = 0.04;
+    p0(0, 0) = 1.0; p0(1, 1) = 1.0;
+  }
+};
+
+TEST(Kalman, TracksConstantVelocityTarget) {
+  CvSetup s;
+  KalmanFilter kf(s.a, s.b, s.c, s.q, s.r, s.x0, s.p0);
+  std::mt19937 gen(11);
+  std::normal_distribution<double> meas_noise(0.0, 0.2);
+  double pos = 0.0;
+  const double vel = 1.5;
+  ErrorAccumulator err;
+  for (int k = 0; k < 400; ++k) {
+    pos += vel * 0.1;
+    kf.predict();
+    const double z = pos + meas_noise(gen);
+    kf.update(std::vector<double>{z});
+    if (k > 100) {
+      err.add_scalar(kf.state()[0] - pos);
+    }
+  }
+  EXPECT_LT(err.rmse(), 0.08);                      // much better than raw noise
+  EXPECT_NEAR(kf.state()[1], 1.5, 0.15);            // velocity inferred
+}
+
+TEST(Kalman, CovarianceSettlesToSteadyState) {
+  CvSetup s;
+  KalmanFilter kf(s.a, s.b, s.c, s.q, s.r, s.x0, s.p0);
+  double prev = 1e9;
+  for (int k = 0; k < 300; ++k) {
+    kf.predict();
+    kf.update(std::vector<double>{0.0});
+    if (k == 200) prev = kf.covariance()(0, 0);
+  }
+  EXPECT_NEAR(kf.covariance()(0, 0), prev, 1e-9);  // converged
+  EXPECT_GT(kf.covariance()(0, 0), 0.0);
+}
+
+TEST(Kalman, ControlInputShiftsPrediction) {
+  Matrix a = Matrix::identity(1);
+  Matrix b(1, 1);
+  b(0, 0) = 2.0;
+  Matrix c = Matrix::identity(1);
+  Matrix q(1, 1);
+  q(0, 0) = 1e-6;
+  Matrix r(1, 1);
+  r(0, 0) = 1e6;  // measurements carry ~no information
+  KalmanFilter kf(a, b, c, q, r, {0.0}, Matrix(1, 1, 1e-6));
+  kf.predict(std::vector<double>{3.0});
+  EXPECT_NEAR(kf.state()[0], 6.0, 1e-9);
+}
+
+TEST(Ekf, MatchesKalmanOnLinearSystem) {
+  CvSetup s;
+  KalmanFilter kf(s.a, s.b, s.c, s.q, s.r, s.x0, s.p0);
+  const double dt = 0.1;
+  ExtendedKalmanFilter ekf(
+      [dt](std::span<const double> x, std::span<const double>, std::size_t) {
+        return std::vector<double>{x[0] + dt * x[1], x[1]};
+      },
+      [](std::span<const double> x) { return std::vector<double>{x[0]}; }, s.q,
+      s.r, s.x0, s.p0);
+  std::mt19937 gen(3);
+  std::normal_distribution<double> noise(0.0, 0.2);
+  double pos = 0.0;
+  for (int k = 0; k < 100; ++k) {
+    pos += 0.1;
+    const double z = pos + noise(gen);
+    kf.predict();
+    kf.update(std::vector<double>{z});
+    ekf.predict();
+    ekf.update(std::vector<double>{z});
+    ASSERT_NEAR(kf.state()[0], ekf.state()[0], 1e-5);
+    ASSERT_NEAR(kf.state()[1], ekf.state()[1], 1e-5);
+  }
+}
+
+TEST(Ekf, TracksNonlinearRangeMeasurement) {
+  // 1-D target measured through z = sqrt(1 + x^2) (range to an offset
+  // sensor): nonlinear but monotone for x > 0.
+  Matrix q(1, 1);
+  q(0, 0) = 1e-4;
+  Matrix r(1, 1);
+  r(0, 0) = 0.01;
+  ExtendedKalmanFilter ekf(
+      [](std::span<const double> x, std::span<const double>, std::size_t) {
+        return std::vector<double>{x[0] + 0.05};
+      },
+      [](std::span<const double> x) {
+        return std::vector<double>{std::sqrt(1.0 + x[0] * x[0])};
+      },
+      q, r, {2.0}, Matrix(1, 1, 0.5));
+  std::mt19937 gen(5);
+  std::normal_distribution<double> noise(0.0, 0.1);
+  double truth = 2.0;
+  ErrorAccumulator err;
+  for (int k = 0; k < 200; ++k) {
+    truth += 0.05;
+    ekf.predict();
+    const double z = std::sqrt(1.0 + truth * truth) + noise(gen);
+    ekf.update(std::vector<double>{z});
+    if (k > 50) err.add_scalar(ekf.state()[0] - truth);
+  }
+  EXPECT_LT(err.rmse(), 0.15);
+}
+
+TEST(Metrics, ErrorAccumulatorBasics) {
+  ErrorAccumulator acc;
+  acc.add_scalar(3.0);
+  acc.add_scalar(-4.0);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_NEAR(acc.rmse(), std::sqrt(12.5), 1e-12);
+  EXPECT_NEAR(acc.mae(), 3.5, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.max_abs(), 4.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.rmse(), 0.0);
+}
+
+TEST(Metrics, VectorStepAndMerge) {
+  ErrorAccumulator a;
+  a.add_step(std::vector<double>{3.0, 4.0});  // norm 5
+  EXPECT_NEAR(a.rmse(), 5.0, 1e-12);
+  ErrorAccumulator b;
+  b.add_scalar(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.rmse(), 5.0, 1e-12);
+}
+
+TEST(Metrics, SeriesStats) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const auto s = esthera::estimation::series_stats(v);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Dense linear-algebra tests: products, transpose, LU solve / inverse on
+// known systems, singularity detection, and covariance symmetrization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "estimation/linalg.hpp"
+
+namespace {
+
+using esthera::estimation::Matrix;
+
+TEST(Matrix, IdentityAndIndexing) {
+  const Matrix i3 = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i3(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Product) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7;  b(0, 1) = 8;
+  b(1, 0) = 9;  b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, AddSubTranspose) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  const Matrix s = a + a;
+  EXPECT_DOUBLE_EQ(s(1, 0), 6.0);
+  const Matrix d = s - a;
+  EXPECT_DOUBLE_EQ(d(1, 1), 4.0);
+  const Matrix t = a.transposed();
+  EXPECT_DOUBLE_EQ(t(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 2.0);
+}
+
+TEST(Matrix, ApplyVector) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 0; a(1, 0) = 1; a(1, 1) = -1;
+  const std::vector<double> v = {3.0, 4.0};
+  const auto out = a.apply(v);
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(Solve, KnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 2; a(1, 0) = 1; a(1, 1) = 2;
+  Matrix b(2, 1);
+  b(0, 0) = 7;  // 3x + 2y = 7
+  b(1, 0) = 5;  // x + 2y = 5
+  const Matrix x = esthera::estimation::solve(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 0;  // permutation matrix
+  Matrix b(2, 1);
+  b(0, 0) = 4;
+  b(1, 0) = 9;
+  const Matrix x = esthera::estimation::solve(a, b);
+  EXPECT_NEAR(x(0, 0), 9.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 4.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 4;  // rank 1
+  const Matrix b(2, 1, 1.0);
+  EXPECT_THROW(esthera::estimation::solve(a, b), std::runtime_error);
+}
+
+TEST(Inverse, RoundTrip) {
+  Matrix a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 2;
+  const Matrix inv = esthera::estimation::inverse(a);
+  const Matrix prod = a * inv;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Symmetrize, AveragesOffDiagonal) {
+  Matrix m(2, 2);
+  m(0, 0) = 1; m(0, 1) = 2; m(1, 0) = 4; m(1, 1) = 3;
+  esthera::estimation::symmetrize(m);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Host-runtime tests: the thread pool's exactly-once index guarantee under
+// varying worker counts and chunk sizes, and the device emulator's launch
+// semantics (kernel-boundary barriers, group coverage).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "device/device.hpp"
+#include "device/platform.hpp"
+#include "mcore/thread_pool.hpp"
+
+namespace {
+
+using namespace esthera;
+
+class PoolParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PoolParamTest, EveryIndexExactlyOnce) {
+  const auto [workers, chunk] = GetParam();
+  mcore::ThreadPool pool(workers);
+  const std::size_t n = 10007;  // prime, not a multiple of any chunk
+  std::vector<std::atomic<int>> hits(n);
+  pool.run(
+      n, [&](std::size_t i, std::size_t) { hits[i].fetch_add(1); }, chunk);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndChunks, PoolParamTest,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 4, 7),
+                       ::testing::Values<std::size_t>(1, 3, 64, 100000)));
+
+TEST(ThreadPool, WorkerIndicesWithinRange) {
+  mcore::ThreadPool pool(4);
+  std::atomic<bool> ok{true};
+  pool.run(5000, [&](std::size_t, std::size_t worker) {
+    if (worker >= pool.worker_count()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(pool.worker_count(), 4u);
+}
+
+TEST(ThreadPool, InlineModeHasOneWorker) {
+  mcore::ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::size_t count = 0;
+  pool.run(10, [&](std::size_t, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    ++count;  // safe: inline execution is sequential
+  });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  mcore::ThreadPool pool(2);
+  bool touched = false;
+  pool.run(0, [&](std::size_t, std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, BackToBackJobsDoNotInterfere) {
+  mcore::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    const std::size_t n = 100 + static_cast<std::size_t>(round);
+    pool.run(n, [&](std::size_t i, std::size_t) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  }
+}
+
+TEST(ThreadPool, ParallelForHelper) {
+  mcore::ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  mcore::parallel_for(pool, 10, 90, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1 : 0);
+  }
+}
+
+TEST(ThreadPool, DefaultWorkerCountHonorsEnv) {
+  setenv("ESTHERA_WORKERS", "3", 1);
+  EXPECT_EQ(mcore::ThreadPool::default_worker_count(), 3u);
+  unsetenv("ESTHERA_WORKERS");
+  EXPECT_GE(mcore::ThreadPool::default_worker_count(), 1u);
+}
+
+TEST(Device, LaunchCoversAllGroups) {
+  device::Device dev(2);
+  std::vector<std::atomic<int>> hits(64);
+  dev.launch(64, [&](std::size_t g) { hits[g].fetch_add(1); });
+  for (std::size_t g = 0; g < 64; ++g) EXPECT_EQ(hits[g].load(), 1);
+}
+
+TEST(Device, LaunchIsABarrier) {
+  device::Device dev(4);
+  std::vector<int> data(128, 0);
+  dev.launch(128, [&](std::size_t g) { data[g] = 1; });
+  // After launch returns, every group's write is visible.
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 128);
+  dev.launch(128, [&](std::size_t g) { data[g] += 1; });
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 256);
+}
+
+TEST(Device, WorkerCountReported) {
+  device::Device dev(3);
+  EXPECT_EQ(dev.worker_count(), 3u);
+}
+
+TEST(Platform, PresetsAreWellFormed) {
+  const auto presets = device::platform_presets();
+  ASSERT_GE(presets.size(), 4u);
+  for (const auto& p : presets) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.max_group_size, 0u);
+    EXPECT_LE(p.default_group_size, p.max_group_size);
+  }
+}
+
+TEST(Platform, LookupByName) {
+  const auto& p = device::platform_by_name("seq-reference");
+  EXPECT_EQ(p.workers, 1u);
+  EXPECT_THROW((void)device::platform_by_name("emu-quantum"), std::invalid_argument);
+}
+
+TEST(Platform, HostDescriptionNonEmpty) {
+  EXPECT_FALSE(device::host_description().empty());
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Generic model-contract tests: every bundled model must satisfy the same
+// behavioural contract the filters rely on, beyond what the SystemModel
+// concept can express statically. Run as typed tests over all models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "models/bearings_only.hpp"
+#include "models/growth.hpp"
+#include "models/linear_gauss.hpp"
+#include "models/model.hpp"
+#include "models/robot_arm.hpp"
+#include "models/stochastic_volatility.hpp"
+#include "models/vehicle.hpp"
+#include "prng/distributions.hpp"
+#include "prng/mt19937.hpp"
+
+namespace {
+
+using namespace esthera;
+
+template <typename M>
+M make_model();
+
+template <>
+models::RobotArmModel<double> make_model() {
+  return models::RobotArmModel<double>();
+}
+template <>
+models::RobotArmModel<float> make_model() {
+  return models::RobotArmModel<float>();
+}
+template <>
+models::GrowthModel<double> make_model() {
+  return models::GrowthModel<double>();
+}
+template <>
+models::LinearGaussModel<double> make_model() {
+  return models::LinearGaussModel<double>(
+      models::LinearGaussParams<double>::constant_velocity());
+}
+template <>
+models::VehicleModel<double> make_model() {
+  return models::VehicleModel<double>();
+}
+template <>
+models::StochasticVolatilityModel<double> make_model() {
+  return models::StochasticVolatilityModel<double>();
+}
+template <>
+models::BearingsOnlyModel<double> make_model() {
+  return models::BearingsOnlyModel<double>();
+}
+
+/// The "own noise-free measurement maximizes the likelihood" property
+/// holds for additive-noise measurement models; the stochastic-volatility
+/// model's multiplicative noise (z = exp(x/2) v) gives z = 0 at zero
+/// noise, which every lower-volatility state explains better.
+template <typename M>
+inline constexpr bool kAdditiveMeasurementNoise = true;
+template <>
+inline constexpr bool
+    kAdditiveMeasurementNoise<models::StochasticVolatilityModel<double>> = false;
+
+template <typename M>
+class ModelContractTest : public ::testing::Test {
+ public:
+  using T = typename M::Scalar;
+
+  M model = make_model<M>();
+
+  std::vector<T> normals(std::size_t n, std::uint32_t seed) {
+    prng::Mt19937 rng(seed);
+    prng::NormalSource<T, prng::Mt19937> normal(rng);
+    std::vector<T> v(n);
+    for (auto& x : v) x = normal();
+    return v;
+  }
+
+  /// A plausible state drawn from the model's own prior.
+  std::vector<T> prior_state(std::uint32_t seed) {
+    std::vector<T> x(model.state_dim());
+    const auto nz = normals(model.init_noise_dim(), seed);
+    model.sample_initial(x, nz);
+    return x;
+  }
+};
+
+using AllModels =
+    ::testing::Types<models::RobotArmModel<double>, models::RobotArmModel<float>,
+                     models::GrowthModel<double>, models::LinearGaussModel<double>,
+                     models::VehicleModel<double>,
+                     models::StochasticVolatilityModel<double>,
+                     models::BearingsOnlyModel<double>>;
+TYPED_TEST_SUITE(ModelContractTest, AllModels);
+
+TYPED_TEST(ModelContractTest, SatisfiesConcept) {
+  static_assert(models::SystemModel<TypeParam>);
+}
+
+TYPED_TEST(ModelContractTest, DimensionsArePositiveAndConsistent) {
+  const auto& m = this->model;
+  EXPECT_GT(m.state_dim(), 0u);
+  EXPECT_GT(m.measurement_dim(), 0u);
+  EXPECT_GT(m.noise_dim(), 0u);
+  EXPECT_GT(m.init_noise_dim(), 0u);
+  EXPECT_GT(m.measurement_noise_dim(), 0u);
+}
+
+TYPED_TEST(ModelContractTest, SamplersAreDeterministicGivenNoise) {
+  using T = typename TypeParam::Scalar;
+  const auto& m = this->model;
+  const auto x0 = this->prior_state(3);
+  const auto nz = this->normals(m.noise_dim(), 9);
+  const std::vector<T> u(m.control_dim(), T(0.01));
+  std::vector<T> a(m.state_dim()), b(m.state_dim());
+  m.sample_transition(x0, a, u, nz, 4);
+  m.sample_transition(x0, b, u, nz, 4);
+  EXPECT_EQ(a, b);
+  std::vector<T> za(m.measurement_dim()), zb(m.measurement_dim());
+  const auto mz = this->normals(m.measurement_noise_dim(), 10);
+  m.sample_measurement(a, za, mz);
+  m.sample_measurement(a, zb, mz);
+  EXPECT_EQ(za, zb);
+}
+
+TYPED_TEST(ModelContractTest, TransitionRespondsToNoise) {
+  using T = typename TypeParam::Scalar;
+  const auto& m = this->model;
+  const auto x0 = this->prior_state(5);
+  const std::vector<T> u(m.control_dim(), T(0));
+  const std::vector<T> zero(m.noise_dim(), T(0));
+  auto big = zero;
+  for (auto& v : big) v = T(3);
+  std::vector<T> a(m.state_dim()), b(m.state_dim());
+  m.sample_transition(x0, a, u, zero, 0);
+  m.sample_transition(x0, b, u, big, 0);
+  EXPECT_NE(a, b);
+}
+
+TYPED_TEST(ModelContractTest, LikelihoodFiniteAndPeakedNearOwnMeasurement) {
+  using T = typename TypeParam::Scalar;
+  const auto& m = this->model;
+  const auto x = this->prior_state(7);
+  // Noise-free measurement of x.
+  std::vector<T> z(m.measurement_dim());
+  const std::vector<T> zero(m.measurement_noise_dim(), T(0));
+  m.sample_measurement(x, z, zero);
+  const T at_truth = m.log_likelihood(x, z);
+  EXPECT_TRUE(std::isfinite(static_cast<double>(at_truth)));
+  // Any *other* prior state scores no better against x's measurement
+  // (additive-noise models only; see kAdditiveMeasurementNoise).
+  int strictly_worse = 0;
+  for (std::uint32_t s = 20; s < 30; ++s) {
+    const auto y = this->prior_state(s);
+    const T ll = m.log_likelihood(y, z);
+    EXPECT_TRUE(std::isfinite(static_cast<double>(ll)));
+    if constexpr (kAdditiveMeasurementNoise<TypeParam>) {
+      EXPECT_LE(ll, at_truth + T(1e-3));
+      if (ll < at_truth - T(1e-6)) ++strictly_worse;
+    }
+  }
+  if constexpr (kAdditiveMeasurementNoise<TypeParam>) {
+    EXPECT_GE(strictly_worse, 8);  // nearly all random states score worse
+  }
+}
+
+TYPED_TEST(ModelContractTest, InitialSamplesSpread) {
+  using T = typename TypeParam::Scalar;
+  const auto& m = this->model;
+  const auto a = this->prior_state(1);
+  const auto b = this->prior_state(2);
+  T diff = T(0);
+  for (std::size_t d = 0; d < m.state_dim(); ++d) diff += std::abs(a[d] - b[d]);
+  EXPECT_GT(diff, T(0));
+}
+
+TYPED_TEST(ModelContractTest, MeasurementNoiseMovesMeasurement) {
+  using T = typename TypeParam::Scalar;
+  const auto& m = this->model;
+  const auto x = this->prior_state(11);
+  std::vector<T> clean(m.measurement_dim()), noisy(m.measurement_dim());
+  const std::vector<T> zero(m.measurement_noise_dim(), T(0));
+  std::vector<T> ones(m.measurement_noise_dim(), T(1));
+  m.sample_measurement(x, clean, zero);
+  m.sample_measurement(x, noisy, ones);
+  EXPECT_NE(clean, noisy);
+}
+
+}  // namespace

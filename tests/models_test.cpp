@@ -1,0 +1,254 @@
+// Model-framework tests: robot-arm kinematic identities, measurement and
+// likelihood consistency for every model, and transition statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "models/growth.hpp"
+#include "models/linear_gauss.hpp"
+#include "models/robot_arm.hpp"
+#include "models/stochastic_volatility.hpp"
+#include "models/vehicle.hpp"
+#include "prng/distributions.hpp"
+#include "prng/mt19937.hpp"
+
+namespace {
+
+using namespace esthera;
+constexpr double kPi = std::numbers::pi;
+
+models::RobotArmModel<double> make_arm(std::size_t joints) {
+  models::RobotArmParams<double> p;
+  p.n_joints = joints;
+  p.arm_length = 2.0;
+  p.base_height = 0.5;
+  return models::RobotArmModel<double>(p);
+}
+
+TEST(RobotArmKinematics, Dimensions) {
+  const auto arm = make_arm(5);
+  EXPECT_EQ(arm.state_dim(), 9u);         // Table II: 5 joints -> dim 9
+  EXPECT_EQ(arm.measurement_dim(), 7u);   // 5 angles + camera (xC, yC)
+  EXPECT_EQ(arm.control_dim(), 5u);
+  EXPECT_EQ(arm.noise_dim(), 9u);
+}
+
+TEST(RobotArmKinematics, FlatArmPointsAlongX) {
+  const auto arm = make_arm(3);
+  const std::vector<double> angles = {0.0, 0.0, 0.0};
+  const auto cam = arm.camera_pose(angles);
+  EXPECT_NEAR(cam.position.x, 2.0, 1e-12);  // full arm length
+  EXPECT_NEAR(cam.position.y, 0.0, 1e-12);
+  EXPECT_NEAR(cam.position.z, 0.5, 1e-12);  // base height
+  EXPECT_NEAR(cam.right.y, 1.0, 1e-12);
+  EXPECT_NEAR(cam.up.z, 1.0, 1e-12);
+}
+
+TEST(RobotArmKinematics, BaseYawRotatesEverything) {
+  const auto arm = make_arm(3);
+  const std::vector<double> angles = {kPi / 2.0, 0.0, 0.0};
+  const auto cam = arm.camera_pose(angles);
+  EXPECT_NEAR(cam.position.x, 0.0, 1e-12);
+  EXPECT_NEAR(cam.position.y, 2.0, 1e-12);
+  EXPECT_NEAR(cam.right.x, -1.0, 1e-12);
+  EXPECT_NEAR(cam.right.y, 0.0, 1e-12);
+}
+
+TEST(RobotArmKinematics, StraightUpPitch) {
+  const auto arm = make_arm(2);  // base + one pitch joint, one segment
+  const std::vector<double> angles = {0.0, kPi / 2.0};
+  const auto cam = arm.camera_pose(angles);
+  EXPECT_NEAR(cam.position.x, 0.0, 1e-12);
+  EXPECT_NEAR(cam.position.z, 2.5, 1e-12);  // base height + full length
+  EXPECT_NEAR(cam.up.x, -1.0, 1e-12);       // camera up now points along -x
+}
+
+TEST(RobotArmKinematics, CumulativePitchSplitsAcrossJoints) {
+  // Two pitch joints of 45 degrees each behave like bending up to 90 total.
+  const auto arm = make_arm(3);
+  const std::vector<double> angles = {0.0, kPi / 4.0, kPi / 4.0};
+  const auto cam = arm.camera_pose(angles);
+  const double seg = 1.0;  // arm_length 2 / 2 segments
+  EXPECT_NEAR(cam.position.x, seg * std::cos(kPi / 4.0), 1e-12);
+  EXPECT_NEAR(cam.position.z, 0.5 + seg * std::sin(kPi / 4.0) + seg, 1e-12);
+}
+
+TEST(RobotArmKinematics, CameraAxesAreOrthonormal) {
+  const auto arm = make_arm(5);
+  const std::vector<double> angles = {0.7, -0.3, 0.5, 0.2, -0.6};
+  const auto cam = arm.camera_pose(angles);
+  const auto dot = [](const auto& a, const auto& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+  };
+  EXPECT_NEAR(dot(cam.right, cam.right), 1.0, 1e-12);
+  EXPECT_NEAR(dot(cam.up, cam.up), 1.0, 1e-12);
+  EXPECT_NEAR(dot(cam.right, cam.up), 0.0, 1e-12);
+}
+
+TEST(RobotArmMeasurement, FlatArmSeesObjectOffsets) {
+  const auto arm = make_arm(3);
+  std::vector<double> x = {0.0, 0.0, 0.0, /*ox=*/3.0, /*oy=*/0.4, 0.0, 0.0};
+  std::vector<double> z(arm.measurement_dim());
+  arm.measure(x, z);
+  EXPECT_NEAR(z[0], 0.0, 1e-12);
+  EXPECT_NEAR(z[3], 0.4, 1e-12);    // xC = lateral offset
+  EXPECT_NEAR(z[4], -0.5, 1e-12);   // yC = -base height (object on ground)
+}
+
+TEST(RobotArmMeasurement, LikelihoodPeaksAtTruth) {
+  const auto arm = make_arm(5);
+  std::vector<double> x(arm.state_dim(), 0.0);
+  x[1] = 0.3;
+  x[5] = 1.5;  // ox
+  x[6] = 0.5;  // oy
+  std::vector<double> z(arm.measurement_dim());
+  arm.measure(x, z);
+  const double at_truth = arm.log_likelihood(x, z);
+  auto x2 = x;
+  x2[5] += 0.2;  // move the object estimate
+  EXPECT_LT(arm.log_likelihood(x2, z), at_truth);
+  auto x3 = x;
+  x3[0] += 0.2;  // rotate the base estimate
+  EXPECT_LT(arm.log_likelihood(x3, z), at_truth);
+  EXPECT_NEAR(at_truth, 0.0, 1e-12);  // constants dropped: max is exactly 0
+}
+
+TEST(RobotArmTransition, MeanFollowsIntegrators) {
+  const auto arm = make_arm(2);
+  std::vector<double> x = {0.1, 0.2, 1.0, 2.0, 0.5, -0.5};
+  const std::vector<double> u = {0.4, -0.4};
+  std::vector<double> next(arm.state_dim());
+  const std::vector<double> zero_noise(arm.noise_dim(), 0.0);
+  arm.sample_transition(x, next, u, zero_noise, 0);
+  const double h = arm.params().dt;
+  EXPECT_NEAR(next[0], 0.1 + h * 0.4, 1e-12);
+  EXPECT_NEAR(next[1], 0.2 - h * 0.4, 1e-12);
+  EXPECT_NEAR(next[2], 1.0 + h * 0.5, 1e-12);   // ox + vx h
+  EXPECT_NEAR(next[3], 2.0 - h * 0.5, 1e-12);   // oy + vy h
+  EXPECT_NEAR(next[4], 0.5, 1e-12);             // velocity random walk
+}
+
+TEST(RobotArmTransition, NoiseEntersLinearly) {
+  const auto arm = make_arm(2);
+  const std::vector<double> x(arm.state_dim(), 0.0);
+  std::vector<double> noise(arm.noise_dim(), 1.0);
+  std::vector<double> next(arm.state_dim());
+  arm.sample_transition(x, next, {}, noise, 0);
+  EXPECT_NEAR(next[0], arm.params().sigma_theta, 1e-12);
+  EXPECT_NEAR(next[2], arm.params().sigma_pos, 1e-12);
+  EXPECT_NEAR(next[4], arm.params().sigma_vel, 1e-12);
+}
+
+TEST(RobotArmMeasurement, SampleMeasurementAddsConfiguredNoise) {
+  const auto arm = make_arm(3);
+  std::vector<double> x(arm.state_dim(), 0.0);
+  x[3] = 2.0;
+  std::vector<double> clean(arm.measurement_dim());
+  std::vector<double> noisy(arm.measurement_dim());
+  arm.measure(x, clean);
+  std::vector<double> ones(arm.measurement_noise_dim(), 1.0);
+  arm.sample_measurement(x, noisy, ones);
+  EXPECT_NEAR(noisy[0] - clean[0], arm.params().meas_sigma_theta, 1e-12);
+  EXPECT_NEAR(noisy[3] - clean[3], arm.params().meas_sigma_cam, 1e-12);
+}
+
+TEST(Growth, DriftFormula) {
+  const models::GrowthModel<double> m;
+  EXPECT_NEAR(m.drift(0.0, 0), 8.0, 1e-12);  // 8 cos(0)
+  const double x = 2.0;
+  EXPECT_NEAR(m.drift(x, 0), 1.0 + 50.0 / 5.0 + 8.0, 1e-12);
+}
+
+TEST(Growth, MeasurementAndLikelihood) {
+  const models::GrowthModel<double> m;
+  EXPECT_NEAR(m.measure(10.0), 5.0, 1e-12);
+  const std::vector<double> x = {10.0};
+  const std::vector<double> z = {5.0};
+  EXPECT_NEAR(m.log_likelihood(x, z), 0.0, 1e-12);
+  const std::vector<double> z2 = {7.0};
+  EXPECT_NEAR(m.log_likelihood(x, z2), -2.0, 1e-12);  // -0.5 * 2^2 / 1
+}
+
+TEST(LinearGauss, ConstantVelocityFactory) {
+  const auto p = models::LinearGaussParams<double>::constant_velocity(0.1);
+  const models::LinearGaussModel<double> m(p);
+  EXPECT_EQ(m.state_dim(), 2u);
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> next(2);
+  const std::vector<double> zero(2, 0.0);
+  m.sample_transition(x, next, {}, zero, 0);
+  EXPECT_NEAR(next[0], 1.2, 1e-12);
+  EXPECT_NEAR(next[1], 2.0, 1e-12);
+  std::vector<double> z(1);
+  m.measure(x, z);
+  EXPECT_NEAR(z[0], 1.0, 1e-12);
+}
+
+TEST(Vehicle, WrapAngle) {
+  using M = models::VehicleModel<double>;
+  EXPECT_NEAR(M::wrap_angle(3.0 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(M::wrap_angle(-3.0 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(M::wrap_angle(0.5), 0.5, 1e-12);
+}
+
+TEST(Vehicle, RangeBearingToLandmark) {
+  models::VehicleParams<double> p;
+  p.landmarks = {{10.0, 0.0}};
+  const models::VehicleModel<double> m(p);
+  const std::vector<double> x = {0.0, 0.0, 1.0, 0.0};  // at origin, heading +x
+  std::vector<double> z(2);
+  m.measure(x, z);
+  EXPECT_NEAR(z[0], 10.0, 1e-12);
+  EXPECT_NEAR(z[1], 0.0, 1e-12);
+  // Heading rotated 90 degrees: bearing becomes -90.
+  const std::vector<double> x2 = {0.0, 0.0, 1.0, kPi / 2.0};
+  m.measure(x2, z);
+  EXPECT_NEAR(z[1], -kPi / 2.0, 1e-12);
+}
+
+TEST(Vehicle, UnicycleMotion) {
+  const models::VehicleModel<double> m;
+  const std::vector<double> x = {0.0, 0.0, 2.0, kPi / 2.0};  // heading +y
+  std::vector<double> next(4);
+  const std::vector<double> zero(4, 0.0);
+  m.sample_transition(x, next, {}, zero, 0);
+  EXPECT_NEAR(next[0], 0.0, 1e-12);
+  EXPECT_NEAR(next[1], 0.2, 1e-12);  // v * dt
+}
+
+TEST(Vehicle, LikelihoodHandlesBearingWraparound) {
+  models::VehicleParams<double> p;
+  p.landmarks = {{-10.0, 0.0}};  // behind: bearing near pi
+  const models::VehicleModel<double> m(p);
+  const std::vector<double> x = {0.0, 0.01, 1.0, 0.0};
+  std::vector<double> z(2);
+  m.measure(x, z);
+  // A state whose bearing sits just across the -pi/pi seam must still score
+  // nearly as well as the truth, not catastrophically worse.
+  const std::vector<double> x2 = {0.0, -0.01, 1.0, 0.0};
+  const double l1 = m.log_likelihood(x, z);
+  const double l2 = m.log_likelihood(x2, z);
+  EXPECT_GT(l2, l1 - 0.5);
+}
+
+TEST(StochasticVolatility, StationaryInitialSpread) {
+  const models::StochasticVolatilityModel<double> m;
+  const double sd = 0.2 / std::sqrt(1.0 - 0.97 * 0.97);
+  std::vector<double> x(1);
+  const std::vector<double> one = {1.0};
+  m.sample_initial(x, one);
+  EXPECT_NEAR(x[0], -1.0 + sd, 1e-12);
+}
+
+TEST(StochasticVolatility, LikelihoodPrefersMatchingVolatility) {
+  const models::StochasticVolatilityModel<double> m;
+  const std::vector<double> big_return = {2.0};
+  const std::vector<double> high_vol = {2.0};
+  const std::vector<double> low_vol = {-3.0};
+  EXPECT_GT(m.log_likelihood(high_vol, big_return),
+            m.log_likelihood(low_vol, big_return));
+}
+
+}  // namespace

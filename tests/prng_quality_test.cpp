@@ -1,0 +1,118 @@
+// Statistical quality tests applying the prng/quality.hpp battery to every
+// generator in the library (TEST_P over generator kind), plus self-checks
+// of the battery on constructed inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "prng/distributions.hpp"
+#include "prng/mt19937.hpp"
+#include "prng/philox.hpp"
+#include "prng/quality.hpp"
+
+namespace {
+
+using namespace esthera;
+
+enum class GenKind { kMt19937, kPhilox, kStdRef };
+
+std::vector<double> draw(GenKind kind, std::size_t n, std::uint32_t seed) {
+  std::vector<double> v(n);
+  switch (kind) {
+    case GenKind::kMt19937: {
+      prng::Mt19937 g(seed);
+      for (auto& x : v) x = prng::uniform01<double>(g);
+      break;
+    }
+    case GenKind::kPhilox: {
+      prng::PhiloxStream g(seed, 1);
+      for (auto& x : v) x = prng::uniform01<double>(g);
+      break;
+    }
+    case GenKind::kStdRef: {
+      std::mt19937_64 g(seed);
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      for (auto& x : v) x = dist(g);
+      break;
+    }
+  }
+  return v;
+}
+
+class GeneratorQualityTest
+    : public ::testing::TestWithParam<std::tuple<GenKind, std::uint32_t>> {};
+
+TEST_P(GeneratorQualityTest, ChiSquareUniformity) {
+  const auto [kind, seed] = GetParam();
+  const auto samples = draw(kind, 100000, seed);
+  const std::size_t bins = 100;
+  const double chi2 = prng::chi_square_uniform<double>(samples, bins);
+  const double dof = bins - 1;
+  // 5-sigma band around the chi-square mean.
+  EXPECT_NEAR(chi2, dof, 5.0 * std::sqrt(2.0 * dof));
+}
+
+TEST_P(GeneratorQualityTest, SerialCorrelationNearZero) {
+  const auto [kind, seed] = GetParam();
+  const auto samples = draw(kind, 100000, seed);
+  for (const std::size_t lag : {1u, 2u, 7u, 64u}) {
+    const double r = prng::serial_correlation<double>(samples, lag);
+    EXPECT_LT(std::abs(r), 4.0 / std::sqrt(100000.0)) << "lag " << lag;
+  }
+}
+
+TEST_P(GeneratorQualityTest, RunsTestUnsuspicious) {
+  const auto [kind, seed] = GetParam();
+  const auto samples = draw(kind, 100000, seed);
+  const auto result = prng::runs_test<double>(samples);
+  EXPECT_LT(std::abs(result.z_score), 4.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorQualityTest,
+    ::testing::Combine(::testing::Values(GenKind::kMt19937, GenKind::kPhilox,
+                                         GenKind::kStdRef),
+                       ::testing::Values(1u, 42u, 0xbeefu)));
+
+// --- Battery self-checks on constructed inputs -------------------------------
+
+TEST(QualityBattery, ChiSquareDetectsBias) {
+  // Squash samples into [0, 0.5): chi-square must explode.
+  std::vector<double> biased(10000);
+  std::mt19937 gen(1);
+  std::uniform_real_distribution<double> dist(0.0, 0.5);
+  for (auto& v : biased) v = dist(gen);
+  EXPECT_GT(prng::chi_square_uniform<double>(biased, 20), 5000.0);
+}
+
+TEST(QualityBattery, SerialCorrelationDetectsTrend) {
+  std::vector<double> ramp(1000);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<double>(i) / 1000.0;
+  }
+  EXPECT_GT(prng::serial_correlation<double>(ramp, 1), 0.9);
+}
+
+TEST(QualityBattery, RunsTestDetectsAlternation) {
+  // Perfectly alternating above/below: far too many runs.
+  std::vector<double> alt(2000);
+  for (std::size_t i = 0; i < alt.size(); ++i) alt[i] = (i % 2) ? 0.75 : 0.25;
+  EXPECT_GT(prng::runs_test<double>(alt).z_score, 10.0);
+}
+
+TEST(QualityBattery, RunsTestDetectsClumping) {
+  // One long run below then one above: far too few runs.
+  std::vector<double> clumped(2000, 0.25);
+  for (std::size_t i = 1000; i < 2000; ++i) clumped[i] = 0.75;
+  EXPECT_LT(prng::runs_test<double>(clumped).z_score, -10.0);
+}
+
+TEST(QualityBattery, EdgeCases) {
+  EXPECT_EQ(prng::serial_correlation<double>(std::vector<double>{0.5}, 1), 0.0);
+  const auto r = prng::runs_test<double>(std::vector<double>{0.4});
+  EXPECT_EQ(r.runs, 0u);
+}
+
+}  // namespace

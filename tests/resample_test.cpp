@@ -1,0 +1,337 @@
+// Resampling-library tests: unbiasedness of every scheme (expected child
+// counts proportional to weights), alias-table invariants for both Vose
+// constructions, ESS values, and the resampling policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "prng/distributions.hpp"
+#include "prng/mt19937.hpp"
+#include "resample/ess.hpp"
+#include "resample/rws.hpp"
+#include "resample/systematic.hpp"
+#include "resample/vose.hpp"
+
+namespace {
+
+using namespace esthera;
+
+std::vector<double> random_weights(std::size_t n, std::uint32_t seed,
+                                   bool include_zero = false) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(0.01, 1.0);
+  std::vector<double> w(n);
+  for (auto& x : w) x = dist(gen);
+  if (include_zero && n > 2) {
+    w[1] = 0.0;
+    w[n / 2] = 0.0;
+  }
+  return w;
+}
+
+// --- ESS ---------------------------------------------------------------
+
+TEST(Ess, UniformWeightsGiveN) {
+  const std::vector<double> w(64, 0.25);
+  EXPECT_NEAR(resample::effective_sample_size<double>(w), 64.0, 1e-9);
+}
+
+TEST(Ess, DegenerateGivesOne) {
+  std::vector<double> w(64, 0.0);
+  w[10] = 3.0;
+  EXPECT_NEAR(resample::effective_sample_size<double>(w), 1.0, 1e-9);
+}
+
+TEST(Ess, AllZeroGivesZero) {
+  const std::vector<double> w(8, 0.0);
+  EXPECT_DOUBLE_EQ(resample::effective_sample_size<double>(w), 0.0);
+}
+
+TEST(Ess, TwoEqualGivesTwo) {
+  std::vector<double> w(16, 0.0);
+  w[0] = 1.0;
+  w[5] = 1.0;
+  EXPECT_NEAR(resample::effective_sample_size<double>(w), 2.0, 1e-9);
+}
+
+// --- Policies ----------------------------------------------------------
+
+TEST(Policy, AlwaysResamples) {
+  const auto p = resample::ResamplePolicy::always();
+  EXPECT_TRUE(resample::should_resample(p, 1.0, 0.99));
+  EXPECT_TRUE(resample::should_resample(p, 0.0, 0.0));
+}
+
+TEST(Policy, EssThreshold) {
+  const auto p = resample::ResamplePolicy::ess_threshold(0.5);
+  EXPECT_TRUE(resample::should_resample(p, 0.4, 0.5));
+  EXPECT_FALSE(resample::should_resample(p, 0.6, 0.5));
+}
+
+TEST(Policy, RandomFrequencyUsesCoin) {
+  const auto p = resample::ResamplePolicy::random_frequency(0.3);
+  EXPECT_TRUE(resample::should_resample(p, 1.0, 0.2));
+  EXPECT_FALSE(resample::should_resample(p, 1.0, 0.4));
+}
+
+// --- Cumulative / binary search -----------------------------------------
+
+TEST(Rws, BuildCumulativePow2UsesBlelloch) {
+  std::vector<float> w = {1, 2, 3, 4};
+  std::vector<float> cum(4);
+  const float total = resample::build_cumulative<float>(w, cum);
+  EXPECT_FLOAT_EQ(total, 10.0f);
+  EXPECT_EQ(cum, (std::vector<float>{1, 3, 6, 10}));
+}
+
+TEST(Rws, BuildCumulativeNonPow2) {
+  std::vector<double> w = {0.5, 0.5, 1.0};
+  std::vector<double> cum(3);
+  const double total = resample::build_cumulative<double>(w, cum);
+  EXPECT_DOUBLE_EQ(total, 2.0);
+  EXPECT_EQ(cum, (std::vector<double>{0.5, 1.0, 2.0}));
+}
+
+TEST(Rws, UpperIndexEdges) {
+  const std::vector<double> cum = {1.0, 3.0, 6.0, 10.0};
+  EXPECT_EQ(resample::upper_index<double>(cum, 0.0), 0u);
+  EXPECT_EQ(resample::upper_index<double>(cum, 1.0), 0u);
+  EXPECT_EQ(resample::upper_index<double>(cum, 1.0001), 1u);
+  EXPECT_EQ(resample::upper_index<double>(cum, 10.0), 3u);
+  EXPECT_EQ(resample::upper_index<double>(cum, 11.0), 3u);  // clamped
+}
+
+// --- Unbiasedness of every scheme ---------------------------------------
+
+enum class Scheme { kRws, kVoseClassic, kVoseInplace, kSystematic, kStratified };
+
+class UnbiasednessTest
+    : public ::testing::TestWithParam<std::tuple<Scheme, std::size_t>> {};
+
+TEST_P(UnbiasednessTest, ChildCountsProportionalToWeights) {
+  const auto [scheme, n] = GetParam();
+  const auto w = random_weights(n, 1234, /*include_zero=*/true);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  const std::size_t rounds = 4000;
+  std::vector<double> counts(n, 0.0);
+  prng::Mt19937 rng(99);
+  std::vector<double> uniforms(2 * n);
+  std::vector<double> cumsum(n);
+  std::vector<std::uint32_t> out(n);
+
+  resample::AliasTable<double> table;
+  std::vector<double> prob(n), scaled(n);
+  std::vector<std::uint32_t> alias(n), slots(n);
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (auto& u : uniforms) u = prng::uniform01<double>(rng);
+    switch (scheme) {
+      case Scheme::kRws:
+        resample::rws_resample<double>(w, uniforms, out, cumsum);
+        break;
+      case Scheme::kVoseClassic:
+        resample::vose_build<double>(w, table);
+        resample::vose_sample<double>(table, uniforms, out);
+        break;
+      case Scheme::kVoseInplace:
+        resample::vose_build_inplace<double>(w, prob, alias, scaled, slots);
+        resample::vose_sample<double>(prob, alias, uniforms, out);
+        break;
+      case Scheme::kSystematic:
+        resample::systematic_resample<double>(w, uniforms[0], out, cumsum);
+        break;
+      case Scheme::kStratified:
+        resample::stratified_resample<double>(w, uniforms, out, cumsum);
+        break;
+    }
+    for (const auto i : out) counts[i] += 1.0;
+  }
+  const double draws = static_cast<double>(rounds * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = draws * w[i] / total;
+    const double sd = std::sqrt(std::max(expected, 1.0));
+    EXPECT_NEAR(counts[i], expected, 6.0 * sd + 1.0)
+        << "scheme=" << static_cast<int>(scheme) << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSizes, UnbiasednessTest,
+    ::testing::Combine(::testing::Values(Scheme::kRws, Scheme::kVoseClassic,
+                                         Scheme::kVoseInplace, Scheme::kSystematic,
+                                         Scheme::kStratified),
+                       ::testing::Values<std::size_t>(4, 16, 64)));
+
+// --- Alias table invariants ----------------------------------------------
+
+void check_alias_mass(std::span<const double> w, std::span<const double> prob,
+                      std::span<const std::uint32_t> alias) {
+  const std::size_t n = w.size();
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  // Reconstruct P(i) = (prob[i] + sum_{j: alias[j]=i} (1 - prob[j])) / n.
+  std::vector<double> mass(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_GE(prob[i], 0.0);
+    ASSERT_LE(prob[i], 1.0 + 1e-9);
+    ASSERT_LT(alias[i], n);
+    mass[i] += prob[i];
+    mass[alias[i]] += 1.0 - prob[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(mass[i] / static_cast<double>(n), w[i] / total, 1e-9) << "i=" << i;
+  }
+}
+
+class AliasInvariantTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AliasInvariantTest, ClassicReconstructsDistribution) {
+  const auto w = random_weights(GetParam(), 55, true);
+  resample::AliasTable<double> table;
+  resample::vose_build<double>(w, table);
+  check_alias_mass(w, table.prob, table.alias);
+}
+
+TEST_P(AliasInvariantTest, InplaceReconstructsDistribution) {
+  const std::size_t n = GetParam();
+  const auto w = random_weights(n, 56, true);
+  std::vector<double> prob(n), scaled(n);
+  std::vector<std::uint32_t> alias(n), slots(n);
+  resample::vose_build_inplace<double>(w, prob, alias, scaled, slots);
+  check_alias_mass(w, prob, alias);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasInvariantTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 17, 64, 301,
+                                                        1024));
+
+TEST(Alias, UniformWeightsAllProbOne) {
+  const std::vector<double> w(32, 0.5);
+  resample::AliasTable<double> table;
+  resample::vose_build<double>(w, table);
+  for (const double p : w) (void)p;
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_NEAR(table.prob[i], 1.0, 1e-12);
+}
+
+TEST(Alias, InplaceRoundCountUniformIsZero) {
+  // All-equal weights classify every element as "large": no pairing rounds.
+  const std::vector<double> w(64, 1.0);
+  std::vector<double> prob(64), scaled(64);
+  std::vector<std::uint32_t> alias(64), slots(64);
+  std::size_t rounds = 123;
+  resample::vose_build_inplace<double>(w, prob, alias, scaled, slots, &rounds);
+  EXPECT_EQ(rounds, 0u);
+}
+
+TEST(Alias, InplaceRoundCountBoundedBySize) {
+  for (const std::uint32_t seed : {1u, 2u, 3u, 4u}) {
+    const auto w = random_weights(256, seed);
+    std::vector<double> prob(256), scaled(256);
+    std::vector<std::uint32_t> alias(256), slots(256);
+    std::size_t rounds = 0;
+    resample::vose_build_inplace<double>(w, prob, alias, scaled, slots, &rounds);
+    EXPECT_GE(rounds, 1u);
+    EXPECT_LE(rounds, 256u);
+  }
+}
+
+TEST(Alias, InplaceRoundCountGrowsWithSkew) {
+  // A geometric weight ladder forces long donor chains; rounds exceed the
+  // couple needed for mild weights. This is the concurrency collapse the
+  // paper describes for the device-side construction.
+  std::vector<double> skewed(128);
+  double v = 1.0;
+  for (auto& x : skewed) {
+    x = v;
+    v *= 0.9;
+  }
+  std::vector<double> prob(128), scaled(128);
+  std::vector<std::uint32_t> alias(128), slots(128);
+  std::size_t skewed_rounds = 0;
+  resample::vose_build_inplace<double>(skewed, prob, alias, scaled, slots,
+                                       &skewed_rounds);
+  const std::vector<double> mild(128, 1.0);
+  std::size_t mild_rounds = 0;
+  resample::vose_build_inplace<double>(mild, prob, alias, scaled, slots,
+                                       &mild_rounds);
+  EXPECT_GT(skewed_rounds, mild_rounds);
+  EXPECT_GE(skewed_rounds, 2u);
+}
+
+TEST(Alias, ExtremeSkew) {
+  std::vector<double> w(16, 1e-12);
+  w[3] = 1.0;
+  std::vector<double> prob(16), scaled(16);
+  std::vector<std::uint32_t> alias(16), slots(16);
+  resample::vose_build_inplace<double>(w, prob, alias, scaled, slots);
+  check_alias_mass(w, prob, alias);
+}
+
+// --- Variance ordering ---------------------------------------------------
+
+TEST(Variance, SystematicLowerThanMultinomial) {
+  // For fixed weights, the child-count variance of systematic resampling is
+  // no larger than multinomial's; check empirically with a margin.
+  const std::size_t n = 32;
+  const auto w = random_weights(n, 77);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  const std::size_t rounds = 3000;
+  prng::Mt19937 rng(5);
+  std::vector<double> uniforms(n), cumsum(n);
+  std::vector<std::uint32_t> out(n);
+  std::vector<double> var_sys(n, 0.0), var_mult(n, 0.0);
+  std::vector<double> cnt(n);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (auto& u : uniforms) u = prng::uniform01<double>(rng);
+    std::fill(cnt.begin(), cnt.end(), 0.0);
+    resample::systematic_resample<double>(w, uniforms[0], out, cumsum);
+    for (const auto i : out) cnt[i] += 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mean = static_cast<double>(n) * w[i] / total;
+      var_sys[i] += (cnt[i] - mean) * (cnt[i] - mean);
+    }
+    std::fill(cnt.begin(), cnt.end(), 0.0);
+    resample::multinomial_resample<double>(w, uniforms, out, cumsum);
+    for (const auto i : out) cnt[i] += 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mean = static_cast<double>(n) * w[i] / total;
+      var_mult[i] += (cnt[i] - mean) * (cnt[i] - mean);
+    }
+  }
+  const double total_sys = std::accumulate(var_sys.begin(), var_sys.end(), 0.0);
+  const double total_mult = std::accumulate(var_mult.begin(), var_mult.end(), 0.0);
+  EXPECT_LT(total_sys, total_mult * 0.8);
+}
+
+// --- Degenerate inputs ----------------------------------------------------
+
+TEST(Degenerate, SingleSurvivorDominates) {
+  std::vector<double> w(8, 0.0);
+  w[6] = 1.0;
+  std::vector<double> uniforms(16), cumsum(8);
+  std::vector<std::uint32_t> out(8);
+  prng::Mt19937 rng(3);
+  for (auto& u : uniforms) u = prng::uniform01<double>(rng);
+  resample::rws_resample<double>(w, uniforms, out, cumsum);
+  for (const auto i : out) EXPECT_EQ(i, 6u);
+  resample::AliasTable<double> table;
+  resample::vose_build<double>(w, table);
+  resample::vose_sample<double>(table, uniforms, out);
+  for (const auto i : out) EXPECT_EQ(i, 6u);
+}
+
+TEST(Degenerate, FewerDrawsThanWeights) {
+  const auto w = random_weights(64, 8);
+  std::vector<double> uniforms(10), cumsum(64);
+  std::vector<std::uint32_t> out(10);
+  prng::Mt19937 rng(4);
+  for (auto& u : uniforms) u = prng::uniform01<double>(rng);
+  resample::rws_resample<double>(w, uniforms, out, cumsum);
+  for (const auto i : out) EXPECT_LT(i, 64u);
+}
+
+}  // namespace

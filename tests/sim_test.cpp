@@ -1,0 +1,172 @@
+// Simulator tests: trajectory geometry (analytic velocities vs finite
+// differences, periodicity), the model-faithful simulator, and the
+// robot-arm scenario's determinism and noise statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "models/growth.hpp"
+#include "sim/ground_truth.hpp"
+#include "sim/trajectory.hpp"
+
+namespace {
+
+using namespace esthera;
+
+TEST(Lemniscate, StartsAtRightLobeHeadingUp) {
+  const sim::Lemniscate path(1.5, 0.3, 2.0, -1.0);
+  const auto p = path.at(0.0);
+  EXPECT_NEAR(p.x, 2.0 + 1.5, 1e-12);
+  EXPECT_NEAR(p.y, -1.0, 1e-12);
+  EXPECT_NEAR(p.vx, 0.0, 1e-12);
+  EXPECT_GT(p.vy, 0.0);  // "starts by heading up from the right side"
+}
+
+TEST(Lemniscate, PeriodicAndClosed) {
+  const sim::Lemniscate path(1.0, 0.5);
+  const double T = path.period();
+  const auto a = path.at(0.3);
+  const auto b = path.at(0.3 + T);
+  EXPECT_NEAR(a.x, b.x, 1e-9);
+  EXPECT_NEAR(a.y, b.y, 1e-9);
+}
+
+TEST(Lemniscate, AnalyticVelocityMatchesFiniteDifference) {
+  const sim::Lemniscate path(1.3, 0.7, 0.5, 0.2);
+  const double eps = 1e-6;
+  for (double t = 0.0; t < 12.0; t += 0.37) {
+    const auto p = path.at(t);
+    const auto hi = path.at(t + eps);
+    const auto lo = path.at(t - eps);
+    EXPECT_NEAR(p.vx, (hi.x - lo.x) / (2 * eps), 1e-5) << "t=" << t;
+    EXPECT_NEAR(p.vy, (hi.y - lo.y) / (2 * eps), 1e-5) << "t=" << t;
+  }
+}
+
+TEST(Lemniscate, PassesThroughCenter) {
+  const sim::Lemniscate path(2.0, 1.0, 0.0, 0.0);
+  // At s = pi/2 the curve crosses its self-intersection (the center).
+  const auto p = path.at(std::numbers::pi / 2.0);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(Circle, GeometryAndVelocity) {
+  const sim::Circle c(2.0, 0.5, 1.0, 1.0);
+  const auto p = c.at(0.0);
+  EXPECT_NEAR(p.x, 3.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+  EXPECT_NEAR(p.vx, 0.0, 1e-12);
+  EXPECT_NEAR(p.vy, 1.0, 1e-12);  // r * omega
+  EXPECT_NEAR(c.period(), 4.0 * std::numbers::pi, 1e-12);
+}
+
+TEST(WaypointPath, InterpolatesAndStops) {
+  const sim::WaypointPath path({{0, 0}, {3, 0}, {3, 4}}, 1.0);
+  EXPECT_NEAR(path.duration(), 7.0, 1e-12);
+  const auto mid = path.at(1.5);
+  EXPECT_NEAR(mid.x, 1.5, 1e-12);
+  EXPECT_NEAR(mid.vx, 1.0, 1e-12);
+  const auto turn = path.at(4.0);
+  EXPECT_NEAR(turn.x, 3.0, 1e-12);
+  EXPECT_NEAR(turn.y, 1.0, 1e-12);
+  EXPECT_NEAR(turn.vy, 1.0, 1e-12);
+  const auto end = path.at(100.0);
+  EXPECT_NEAR(end.x, 3.0, 1e-12);
+  EXPECT_NEAR(end.y, 4.0, 1e-12);
+  EXPECT_NEAR(end.vx, 0.0, 1e-12);
+}
+
+TEST(ModelSimulator, DeterministicPerSeed) {
+  const models::GrowthModel<double> m;
+  sim::ModelSimulator<models::GrowthModel<double>> s1(m, 5);
+  sim::ModelSimulator<models::GrowthModel<double>> s2(m, 5);
+  for (int k = 0; k < 20; ++k) {
+    const auto a = s1.advance();
+    const auto b = s2.advance();
+    ASSERT_EQ(a.truth, b.truth);
+    ASSERT_EQ(a.z, b.z);
+  }
+  sim::ModelSimulator<models::GrowthModel<double>> s3(m, 6);
+  EXPECT_NE(s1.advance().truth, s3.advance().truth);
+}
+
+TEST(ModelSimulator, ResetRestartsSequence) {
+  const models::GrowthModel<double> m;
+  sim::ModelSimulator<models::GrowthModel<double>> s(m, 9);
+  std::vector<double> first;
+  for (int k = 0; k < 5; ++k) first.push_back(s.advance().truth[0]);
+  s.reset(9);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_DOUBLE_EQ(s.advance().truth[0], first[static_cast<std::size_t>(k)]);
+  }
+}
+
+TEST(RobotArmScenario, DeterministicPerSeed) {
+  sim::RobotArmScenario a;
+  sim::RobotArmScenario b;
+  a.reset(3);
+  b.reset(3);
+  for (int k = 0; k < 10; ++k) {
+    const auto sa = a.advance();
+    const auto sb = b.advance();
+    ASSERT_EQ(sa.truth, sb.truth);
+    ASSERT_EQ(sa.z, sb.z);
+    ASSERT_EQ(sa.u, sb.u);
+  }
+}
+
+TEST(RobotArmScenario, ObjectFollowsLemniscate) {
+  sim::RobotArmScenarioConfig cfg;
+  sim::RobotArmScenario scenario(cfg);
+  scenario.reset(4);
+  const std::size_t j = cfg.arm.n_joints;
+  for (int k = 0; k < 25; ++k) {
+    const auto step = scenario.advance();
+    const auto truth_obj = scenario.object_truth();
+    EXPECT_NEAR(step.truth[j + 0], truth_obj.x, 1e-9);
+    EXPECT_NEAR(step.truth[j + 1], truth_obj.y, 1e-9);
+  }
+}
+
+TEST(RobotArmScenario, MeasurementNoiseHasConfiguredSpread) {
+  sim::RobotArmScenarioConfig cfg;
+  sim::RobotArmScenario scenario(cfg);
+  scenario.reset(11);
+  const std::size_t j = cfg.arm.n_joints;
+  double sum_sq = 0.0;
+  int n = 0;
+  std::vector<double> clean(scenario.model().measurement_dim());
+  for (int k = 0; k < 400; ++k) {
+    const auto step = scenario.advance();
+    scenario.model().measure(step.truth, clean);
+    for (std::size_t i = 0; i < j; ++i) {
+      const double e = step.z[i] - clean[i];
+      sum_sq += e * e;
+      ++n;
+    }
+  }
+  const double sd = std::sqrt(sum_sq / n);
+  EXPECT_NEAR(sd, cfg.arm.meas_sigma_theta, 0.2 * cfg.arm.meas_sigma_theta);
+}
+
+TEST(RobotArmScenario, InitMeanIsOffsetFromTruth) {
+  sim::RobotArmScenarioConfig cfg;
+  cfg.init_object_offset = 0.25;
+  sim::RobotArmScenario scenario(cfg);
+  scenario.reset(2);
+  const auto model = scenario.make_model<double>();
+  const std::size_t j = cfg.arm.n_joints;
+  EXPECT_NEAR(model.init_mean()[j + 0], scenario.truth()[j + 0] + 0.25, 1e-12);
+  EXPECT_NEAR(model.init_mean()[j + 1], scenario.truth()[j + 1] + 0.25, 1e-12);
+}
+
+TEST(RobotArmScenario, FloatModelMatchesDoubleParams) {
+  sim::RobotArmScenario scenario;
+  const auto fm = scenario.make_model<float>();
+  EXPECT_EQ(fm.state_dim(), scenario.model().state_dim());
+  EXPECT_NEAR(fm.params().dt, scenario.model().params().dt, 1e-6);
+}
+
+}  // namespace

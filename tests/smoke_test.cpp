@@ -1,0 +1,69 @@
+// Build-level smoke test: every public header compiles together and the
+// two filters run end-to-end on the robot-arm scenario.
+#include <gtest/gtest.h>
+
+#include "esthera.hpp"
+#include "core/centralized_pf.hpp"
+#include "core/distributed_pf.hpp"
+#include "device/platform.hpp"
+#include "estimation/kalman.hpp"
+#include "estimation/metrics.hpp"
+#include "models/growth.hpp"
+#include "models/linear_gauss.hpp"
+#include "models/robot_arm.hpp"
+#include "models/stochastic_volatility.hpp"
+#include "models/vehicle.hpp"
+#include "sim/ground_truth.hpp"
+#include "sim/trajectory.hpp"
+
+namespace {
+
+using namespace esthera;
+
+TEST(Smoke, UmbrellaHeaderCompiles) {
+  EXPECT_STREQ(esthera::kVersionString, "1.0.0");
+}
+
+TEST(Smoke, ModelsSatisfyConcept) {
+  static_assert(models::SystemModel<models::RobotArmModel<float>>);
+  static_assert(models::SystemModel<models::RobotArmModel<double>>);
+  static_assert(models::SystemModel<models::GrowthModel<double>>);
+  static_assert(models::SystemModel<models::LinearGaussModel<float>>);
+  static_assert(models::SystemModel<models::VehicleModel<double>>);
+  static_assert(models::SystemModel<models::StochasticVolatilityModel<double>>);
+}
+
+TEST(Smoke, CentralizedFilterRuns) {
+  sim::RobotArmScenario scenario;
+  scenario.reset(7);
+  core::CentralizedParticleFilter<models::RobotArmModel<double>> pf(
+      scenario.make_model<double>(), 256);
+  for (int k = 0; k < 5; ++k) {
+    const auto step = scenario.advance();
+    pf.step(step.z, step.u);
+  }
+  EXPECT_EQ(pf.estimate().size(), scenario.model().state_dim());
+}
+
+TEST(Smoke, DistributedFilterRuns) {
+  sim::RobotArmScenario scenario;
+  scenario.reset(7);
+  core::FilterConfig cfg;
+  cfg.particles_per_filter = 16;
+  cfg.num_filters = 8;
+  cfg.workers = 2;
+  core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+      scenario.make_model<float>(), cfg);
+  std::vector<float> z;
+  std::vector<float> u;
+  for (int k = 0; k < 5; ++k) {
+    const auto step = scenario.advance();
+    z.assign(step.z.begin(), step.z.end());
+    u.assign(step.u.begin(), step.u.end());
+    pf.step(z, u);
+  }
+  EXPECT_EQ(pf.estimate().size(), scenario.model().state_dim());
+  EXPECT_GT(pf.timers().total(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Exchange-topology tests: neighbour algebra for Ring and 2D Torus,
+// pooled-scheme classification, parsing, and shape factorization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace esthera::topology;
+
+TEST(Parse, RoundTrips) {
+  for (const auto s : {ExchangeScheme::kNone, ExchangeScheme::kAllToAll,
+                       ExchangeScheme::kRing, ExchangeScheme::kTorus2D}) {
+    EXPECT_EQ(parse_scheme(to_string(s)), s);
+  }
+}
+
+TEST(Parse, Aliases) {
+  EXPECT_EQ(parse_scheme("all2all"), ExchangeScheme::kAllToAll);
+  EXPECT_EQ(parse_scheme("torus2d"), ExchangeScheme::kTorus2D);
+  EXPECT_THROW((void)parse_scheme("hypercube"), std::invalid_argument);
+}
+
+TEST(TorusShape, FactorsAsSquareAsPossible) {
+  EXPECT_EQ(torus_shape(16).rows, 4u);
+  EXPECT_EQ(torus_shape(16).cols, 4u);
+  EXPECT_EQ(torus_shape(12).rows, 3u);
+  EXPECT_EQ(torus_shape(12).cols, 4u);
+  EXPECT_EQ(torus_shape(7).rows, 1u);  // prime: degenerates to a ring
+  EXPECT_EQ(torus_shape(7).cols, 7u);
+  EXPECT_EQ(torus_shape(1).rows, 1u);
+}
+
+TEST(TorusShape, RowsTimesColsIsN) {
+  for (std::size_t n = 1; n <= 300; ++n) {
+    const auto s = torus_shape(n);
+    EXPECT_EQ(s.rows * s.cols, n);
+    EXPECT_LE(s.rows, s.cols);
+  }
+}
+
+TEST(Neighbors, NoneAndPooledAreEmpty) {
+  EXPECT_TRUE(neighbors(ExchangeScheme::kNone, 16, 3).empty());
+  EXPECT_TRUE(neighbors(ExchangeScheme::kAllToAll, 16, 3).empty());
+  EXPECT_TRUE(is_pooled(ExchangeScheme::kAllToAll));
+  EXPECT_FALSE(is_pooled(ExchangeScheme::kRing));
+}
+
+TEST(Neighbors, SingleFilterHasNone) {
+  EXPECT_TRUE(neighbors(ExchangeScheme::kRing, 1, 0).empty());
+  EXPECT_TRUE(neighbors(ExchangeScheme::kTorus2D, 1, 0).empty());
+}
+
+TEST(Neighbors, RingOfTwoHasOneNeighbor) {
+  const auto n0 = neighbors(ExchangeScheme::kRing, 2, 0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0], 1u);
+}
+
+class RingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingTest, NeighborsAreSymmetricAndValid) {
+  const std::size_t n = GetParam();
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const auto nb = neighbors(ExchangeScheme::kRing, n, id);
+    EXPECT_EQ(nb.size(), n > 2 ? 2u : 1u);
+    std::set<std::uint32_t> seen;
+    for (const auto q : nb) {
+      EXPECT_LT(q, n);
+      EXPECT_NE(q, id);
+      EXPECT_TRUE(seen.insert(q).second) << "duplicate neighbour";
+      // Symmetry: q lists id as a neighbour too.
+      const auto back = neighbors(ExchangeScheme::kRing, n, q);
+      EXPECT_NE(std::find(back.begin(), back.end(), id), back.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingTest,
+                         ::testing::Values<std::size_t>(2, 3, 4, 8, 16, 100, 1024));
+
+class TorusTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TorusTest, NeighborsAreSymmetricValidAndBounded) {
+  const std::size_t n = GetParam();
+  const std::size_t degree = max_degree(ExchangeScheme::kTorus2D, n);
+  EXPECT_LE(degree, 4u);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const auto nb = neighbors(ExchangeScheme::kTorus2D, n, id);
+    EXPECT_LE(nb.size(), degree);
+    std::set<std::uint32_t> seen;
+    for (const auto q : nb) {
+      EXPECT_LT(q, n);
+      EXPECT_NE(q, id);
+      EXPECT_TRUE(seen.insert(q).second);
+      const auto back = neighbors(ExchangeScheme::kTorus2D, n, q);
+      EXPECT_NE(std::find(back.begin(), back.end(), id), back.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TorusTest,
+                         ::testing::Values<std::size_t>(2, 4, 6, 9, 12, 16, 64, 100,
+                                                        1024));
+
+TEST(Torus, SquareGridHasFourNeighbors) {
+  // 4x4 torus: every node has exactly 4 distinct neighbours.
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    EXPECT_EQ(neighbors(ExchangeScheme::kTorus2D, 16, id).size(), 4u);
+  }
+}
+
+TEST(Torus, PrimeDegeneratesToRing) {
+  // 1 x 7 torus is a ring: two neighbours.
+  for (std::uint32_t id = 0; id < 7; ++id) {
+    const auto nb = neighbors(ExchangeScheme::kTorus2D, 7, id);
+    EXPECT_EQ(nb.size(), 2u);
+  }
+}
+
+TEST(Torus, TwoByTwoMergesNeighbors) {
+  // In a 2x2 torus, +1 and -1 wrap to the same node in both dimensions.
+  for (std::uint32_t id = 0; id < 4; ++id) {
+    const auto nb = neighbors(ExchangeScheme::kTorus2D, 4, id);
+    EXPECT_EQ(nb.size(), 2u);
+  }
+}
+
+TEST(MaxDegree, MatchesNeighborCounts) {
+  for (const auto scheme : {ExchangeScheme::kRing, ExchangeScheme::kTorus2D}) {
+    for (const std::size_t n : {2u, 3u, 4u, 9u, 16u, 37u, 64u}) {
+      std::size_t max_seen = 0;
+      for (std::uint32_t id = 0; id < n; ++id) {
+        max_seen = std::max(max_seen, neighbors(scheme, n, id).size());
+      }
+      EXPECT_EQ(max_degree(scheme, n), max_seen)
+          << to_string(scheme) << " n=" << n;
+    }
+  }
+}
+
+TEST(MaxDegree, ZeroForPooledAndNone) {
+  EXPECT_EQ(max_degree(ExchangeScheme::kAllToAll, 64), 0u);
+  EXPECT_EQ(max_degree(ExchangeScheme::kNone, 64), 0u);
+  EXPECT_EQ(max_degree(ExchangeScheme::kRing, 1), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Unscented Kalman filter tests: agreement with the linear KF on linear
+// systems (the UT is exact for linear dynamics), nonlinear tracking, sigma-
+// point weight identities, and Cholesky support.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "estimation/kalman.hpp"
+#include "estimation/linalg.hpp"
+#include "estimation/metrics.hpp"
+#include "estimation/ukf.hpp"
+
+namespace {
+
+using namespace esthera::estimation;
+
+TEST(Cholesky, KnownFactorization) {
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  const Matrix l = cholesky(a);
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(l(0, 1), 0.0, 1e-12);
+  // Round trip L L^T = A.
+  const Matrix back = l * l.transposed();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_NEAR(back(r, c), a(r, c), 1e-12);
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), std::runtime_error);
+}
+
+struct Cv {
+  Matrix a{2, 2}, c{1, 2}, q{2, 2}, r{1, 1}, p0{2, 2};
+  std::vector<double> x0{0.0, 0.0};
+  double dt = 0.1;
+
+  Cv() {
+    a(0, 0) = 1; a(0, 1) = dt; a(1, 1) = 1;
+    c(0, 0) = 1;
+    q(0, 0) = 1e-4; q(1, 1) = 1e-3;
+    r(0, 0) = 0.04;
+    p0(0, 0) = 1.0; p0(1, 1) = 1.0;
+  }
+};
+
+UnscentedKalmanFilter make_cv_ukf(const Cv& s) {
+  return UnscentedKalmanFilter(
+      [dt = s.dt](std::span<const double> x, std::span<const double>, std::size_t) {
+        return std::vector<double>{x[0] + dt * x[1], x[1]};
+      },
+      [](std::span<const double> x) { return std::vector<double>{x[0]}; }, s.q,
+      s.r, s.x0, s.p0);
+}
+
+TEST(Ukf, MatchesKalmanOnLinearSystem) {
+  Cv s;
+  KalmanFilter kf(s.a, Matrix(0, 0), s.c, s.q, s.r, s.x0, s.p0);
+  UnscentedKalmanFilter ukf = make_cv_ukf(s);
+  std::mt19937 gen(3);
+  std::normal_distribution<double> noise(0.0, 0.2);
+  double pos = 0.0;
+  for (int k = 0; k < 120; ++k) {
+    pos += 0.1;
+    const double z = pos + noise(gen);
+    kf.predict();
+    kf.update(std::vector<double>{z});
+    ukf.predict();
+    ukf.update(std::vector<double>{z});
+    // The unscented transform is exact for linear dynamics: agreement to
+    // numerical precision of the two very different formulations.
+    ASSERT_NEAR(kf.state()[0], ukf.state()[0], 1e-6);
+    ASSERT_NEAR(kf.state()[1], ukf.state()[1], 1e-6);
+  }
+}
+
+TEST(Ukf, TracksNonlinearRangeMeasurement) {
+  Matrix q(1, 1);
+  q(0, 0) = 1e-4;
+  Matrix r(1, 1);
+  r(0, 0) = 0.01;
+  UnscentedKalmanFilter ukf(
+      [](std::span<const double> x, std::span<const double>, std::size_t) {
+        return std::vector<double>{x[0] + 0.05};
+      },
+      [](std::span<const double> x) {
+        return std::vector<double>{std::sqrt(1.0 + x[0] * x[0])};
+      },
+      q, r, {2.0}, Matrix(1, 1, 0.5));
+  std::mt19937 gen(5);
+  std::normal_distribution<double> noise(0.0, 0.1);
+  double truth = 2.0;
+  ErrorAccumulator err;
+  for (int k = 0; k < 200; ++k) {
+    truth += 0.05;
+    ukf.predict();
+    const double z = std::sqrt(1.0 + truth * truth) + noise(gen);
+    ukf.update(std::vector<double>{z});
+    if (k > 50) err.add_scalar(ukf.state()[0] - truth);
+  }
+  EXPECT_LT(err.rmse(), 0.15);
+}
+
+TEST(Ukf, CovarianceStaysPositiveAndBounded) {
+  Cv s;
+  UnscentedKalmanFilter ukf = make_cv_ukf(s);
+  for (int k = 0; k < 200; ++k) {
+    ukf.predict();
+    ukf.update(std::vector<double>{0.1 * k});
+    ASSERT_GT(ukf.covariance()(0, 0), 0.0);
+    ASSERT_GT(ukf.covariance()(1, 1), 0.0);
+    ASSERT_LT(ukf.covariance()(0, 0), 10.0);
+  }
+}
+
+TEST(Ukf, InnovationHookIsUsed) {
+  Cv s;
+  UnscentedKalmanFilter plain = make_cv_ukf(s);
+  UnscentedKalmanFilter hooked = make_cv_ukf(s);
+  bool called = false;
+  hooked.set_innovation([&](std::span<const double> z, std::span<const double> zh) {
+    called = true;
+    std::vector<double> d(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i) d[i] = z[i] - zh[i];
+    return d;
+  });
+  plain.predict();
+  plain.update(std::vector<double>{0.5});
+  hooked.predict();
+  hooked.update(std::vector<double>{0.5});
+  EXPECT_TRUE(called);
+  EXPECT_NEAR(plain.state()[0], hooked.state()[0], 1e-12);
+}
+
+TEST(Ekf, InnovationHookChangesUpdate) {
+  Cv s;
+  ExtendedKalmanFilter ekf(
+      [dt = s.dt](std::span<const double> x, std::span<const double>, std::size_t) {
+        return std::vector<double>{x[0] + dt * x[1], x[1]};
+      },
+      [](std::span<const double> x) { return std::vector<double>{x[0]}; }, s.q,
+      s.r, s.x0, s.p0);
+  // A residual that zeroes the innovation must freeze the state mean.
+  ekf.set_innovation([](std::span<const double> z, std::span<const double>) {
+    return std::vector<double>(z.size(), 0.0);
+  });
+  ekf.predict();
+  const double before = ekf.state()[0];
+  ekf.update(std::vector<double>{100.0});
+  EXPECT_DOUBLE_EQ(ekf.state()[0], before);
+}
+
+}  // namespace
