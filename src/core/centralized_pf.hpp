@@ -16,6 +16,7 @@
 #include "core/config.hpp"
 #include "core/particle_store.hpp"
 #include "core/stage_timers.hpp"
+#include "device/invariants.hpp"
 #include "models/model.hpp"
 #include "prng/distributions.hpp"
 #include "prng/mt19937.hpp"
@@ -49,6 +50,12 @@ struct CentralizedOptions {
   /// independence proposal, accepted with min(1, p(z|y)/p(z|x))).
   /// Rejuvenates the duplicates resampling creates. 0 disables the move.
   std::size_t move_steps = 0;
+
+  /// Runtime opt-in for the esthera::debug invariant checker (same
+  /// semantics as FilterConfig::check_invariants): validates log-weights,
+  /// the estimate, and every resampled index set, throwing
+  /// debug::InvariantViolation on the first breach.
+  bool check_invariants = debug::kCheckedBuild;
 };
 
 /// Sequential SIR particle filter over any SystemModel.
@@ -113,6 +120,10 @@ class CentralizedParticleFilter {
         aux_.log_weights()[i] = cur_.log_weights()[i] + loglik;
       }
       cur_.swap(aux_);
+      if (opts_.check_invariants) {
+        debug::check_log_weights<T>(std::span<const T>(cur_.log_weights()),
+                                    "sampling+weighting", 0);
+      }
     }
     {
       ScopedStageTimer timer(timers_, Stage::kGlobalEstimate);
@@ -149,20 +160,30 @@ class CentralizedParticleFilter {
 
  private:
   /// Converts log-weights to max-normalized linear weights in `weights_`
-  /// and returns the index of the best particle.
+  /// and returns the index of the best particle. Sets `degenerate_` when
+  /// no particle carries a finite log-weight (weights_ is then uniform).
   std::size_t normalize_weights() {
-    const auto lw = cur_.log_weights();
+    const auto lw = std::span<const T>(cur_.log_weights());
+    degenerate_ = !resample::normalize_from_log<T>(lw, weights_);
+    if (degenerate_) return 0;
     std::size_t best = 0;
     for (std::size_t i = 1; i < n_; ++i) {
-      if (lw[i] > lw[best]) best = i;
+      if (weights_[i] > weights_[best]) best = i;
     }
-    const T max_lw = lw[best];
-    for (std::size_t i = 0; i < n_; ++i) weights_[i] = std::exp(lw[i] - max_lw);
     return best;
   }
 
   void update_estimate() {
     const std::size_t best = normalize_weights();
+    ess_ = degenerate_
+               ? 0.0
+               : static_cast<double>(resample::effective_sample_size(
+                     std::span<const T>(weights_)));
+    if (degenerate_) {
+      // No usable weight information this round; keep the previous
+      // estimate rather than averaging over meaningless weights.
+      return;
+    }
     if (opts_.estimator == EstimatorKind::kMaxWeight) {
       const auto s = cur_.state(best);
       estimate_.assign(s.begin(), s.end());
@@ -177,12 +198,26 @@ class CentralizedParticleFilter {
       }
       for (auto& v : estimate_) v /= wsum;
     }
-    ess_ = static_cast<double>(
-        resample::effective_sample_size(std::span<const T>(weights_)));
+    if (opts_.check_invariants) {
+      for (std::size_t d = 0; d < estimate_.size(); ++d) {
+        if (!std::isfinite(static_cast<double>(estimate_[d]))) {
+          debug::fail("global estimate", "estimate component is not finite", 0);
+        }
+      }
+    }
   }
 
   /// Returns true when the population was resampled this round.
   bool maybe_resample() {
+    if (degenerate_) {
+      // No finite log-weight anywhere: resampling from these weights would
+      // be meaningless (or NaN-poisoned). Keep every particle exactly once
+      // and restart with uniform weights; the next round's likelihoods
+      // rebuild the weight information.
+      for (std::size_t i = 0; i < n_; ++i) indices_[i] = static_cast<std::uint32_t>(i);
+      for (std::size_t i = 0; i < n_; ++i) cur_.log_weights()[i] = T(0);
+      return true;
+    }
     const double u = prng::uniform01<double>(rng_);
     if (!resample::should_resample(opts_.policy, ess_ / static_cast<double>(n_), u)) {
       return false;
@@ -210,6 +245,10 @@ class CentralizedParticleFilter {
         resample::stratified_resample<T>(w, uniform_scratch(), out, cumsum_);
         break;
       }
+    }
+    if (opts_.check_invariants) {
+      debug::check_index_set(out, n_, 0);
+      debug::check_resample_distribution<T>(w, out, 0);
     }
     sortnet::gather_rows<T, std::uint32_t>(cur_.raw_state(), aux_.raw_state(),
                                            out, model_.state_dim());
@@ -269,6 +308,7 @@ class CentralizedParticleFilter {
   std::vector<T> prev_;  // x_{k-1} copy for the resample-move step
   StageTimers timers_;
   double ess_ = 0.0;
+  bool degenerate_ = false;
   std::size_t step_ = 0;
   std::size_t move_accepts_ = 0;
   std::size_t move_proposals_ = 0;

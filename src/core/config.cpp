@@ -70,6 +70,7 @@ std::string FilterConfig::summary() const {
      << " (total=" << total_particles() << ") X=" << topology::to_string(scheme)
      << " t=" << exchange_particles << " resample=" << to_string(resample)
      << " estimator=" << to_string(estimator) << " seed=" << seed;
+  if (check_invariants) os << " checked";
   return os.str();
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "device/invariants.hpp"
 #include "prng/mtgp_stream.hpp"
 #include "resample/ess.hpp"
 #include "topology/topology.hpp"
@@ -57,6 +58,13 @@ struct FilterConfig {
   /// behind the paper's All-to-All result, attacked from the other side.
   /// 0 disables roughening (the paper's configuration).
   double roughening_k = 0.0;
+
+  /// Runtime opt-in for the esthera::debug invariant checker: validates the
+  /// post-conditions of all six kernels after every launch and throws
+  /// debug::InvariantViolation on the first breach. Defaults to on in
+  /// builds compiled with -DESTHERA_CHECKED (CMake option ESTHERA_CHECKED);
+  /// off otherwise, where every check site reduces to a branch-on-null.
+  bool check_invariants = debug::kCheckedBuild;
 
   [[nodiscard]] std::size_t total_particles() const {
     return particles_per_filter * num_filters;

@@ -20,6 +20,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <span>
@@ -29,6 +30,7 @@
 #include "core/particle_store.hpp"
 #include "core/stage_timers.hpp"
 #include "device/device.hpp"
+#include "device/invariants.hpp"
 #include "models/model.hpp"
 #include "prng/mtgp_stream.hpp"
 #include "resample/ess.hpp"
@@ -70,7 +72,10 @@ class DistributedParticleFilter {
   [[nodiscard]] StageTimers& timers() { return timers_; }
   [[nodiscard]] device::Device& dev() { return *dev_; }
 
-  /// Local (per-sub-filter) estimate: the best particle of group g.
+  /// Local (per-sub-filter) estimate: the first particle of group g. This
+  /// is the group's best particle only between the local-sort and exchange
+  /// kernels; after a full step() (which ends in resampling) it is one draw
+  /// from the group's resampled population, not necessarily the best.
   [[nodiscard]] std::span<const T> local_estimate(std::size_t g) const {
     return cur_.state(g * m_);
   }
@@ -117,10 +122,23 @@ class DistributedParticleFilter {
       }
     });
     step_ = 0;
+    // A re-init must not carry diagnostics or timings from a previous run:
+    // mean_ess(), mean_unique_parent_fraction(), estimate_log_weight() and
+    // breakdown_string() all read 0 again until the next step().
+    ess_sum_ = 0.0;
+    unique_sum_ = 0.0;
+    estimate_lw_ = T(0);
+    timers_.reset();
+    std::fill(resampled_flags_.begin(), resampled_flags_.end(), std::uint8_t{0});
     // Estimate before the first measurement: particle 0's state (all
     // particles are prior draws; there is no weight information yet).
     const auto s = cur_.state(0);
     estimate_.assign(s.begin(), s.end());
+    if (checker_) {
+      for (std::size_t g = 0; g < n_filters_; ++g) {
+        debug::check_log_weights<T>(cur_.log_weights(g * m_, m_), "initialize", g);
+      }
+    }
   }
 
   /// One filtering round (Algorithm 2) on measurement `z`, control `u`.
@@ -178,7 +196,24 @@ class DistributedParticleFilter {
     outbox_state_.resize(box * dim_);
     outbox_lw_.resize(box);
     pool_top_.resize(cfg_.exchange_particles);
+    pool_order_.resize(box);
+    resampled_flags_.assign(n_filters_, 0);
+    if (cfg_.check_invariants) {
+      checker_ = std::make_unique<debug::InvariantChecker>(n_filters_, m_, npg, upg);
+      checked_dev_ = std::make_unique<debug::CheckedDevice>(*dev_);
+    }
     initialize();
+  }
+
+  /// Routes a kernel launch through the CheckedDevice when invariant
+  /// checking is on (verifying exactly-once group coverage per launch).
+  template <typename Kernel>
+  void launch(const char* name, Kernel&& kernel) {
+    if (checked_dev_) {
+      checked_dev_->launch(name, n_filters_, kernel);
+    } else {
+      dev_->launch(n_filters_, kernel);
+    }
   }
 
   void build_neighbor_lists() {
@@ -192,12 +227,15 @@ class DistributedParticleFilter {
   void run_rand() {
     ScopedStageTimer timer(timers_, Stage::kRand);
     stream_.fill(dev_->pool(), rand_);
+    if (checker_) {
+      checker_->check_prng_buffers<T>(rand_.normals, rand_.uniforms);
+    }
   }
 
   void run_sampling(std::span<const T> z, std::span<const T> u) {
     ScopedStageTimer timer(timers_, Stage::kSampling);
     const std::size_t nd = model_.noise_dim();
-    dev_->launch(n_filters_, [&](std::size_t g) {
+    launch("sampling+weighting", [&](std::size_t g) {
       const auto normals = rand_.group_normals(g);
       for (std::size_t p = 0; p < m_; ++p) {
         const std::size_t i = g * m_ + p;
@@ -208,11 +246,18 @@ class DistributedParticleFilter {
       }
     });
     cur_.swap(aux_);
+    if (checker_) {
+      checker_->note_rng_use(m_ * nd, 0, "sampling+weighting");
+      for (std::size_t g = 0; g < n_filters_; ++g) {
+        debug::check_log_weights<T>(cur_.log_weights(g * m_, m_),
+                                    "sampling+weighting", g);
+      }
+    }
   }
 
   void run_local_sort() {
     ScopedStageTimer timer(timers_, Stage::kLocalSort);
-    dev_->launch(n_filters_, [&](std::size_t g) {
+    launch("local sort", [&](std::size_t g) {
       const std::size_t base = g * m_;
       auto keys = std::span<T>(sort_keys_).subspan(base, m_);
       auto idx = std::span<std::uint32_t>(sort_idx_).subspan(base, m_);
@@ -231,12 +276,19 @@ class DistributedParticleFilter {
       for (std::size_t p = 0; p < m_; ++p) lw_out[p] = keys[p];
     });
     cur_.swap(aux_);
+    if (checker_) {
+      for (std::size_t g = 0; g < n_filters_; ++g) {
+        debug::check_sorted_descending<T>(cur_.log_weights(g * m_, m_), g);
+        debug::check_permutation(
+            std::span<const std::uint32_t>(sort_idx_).subspan(g * m_, m_), g);
+      }
+    }
   }
 
   void run_global_estimate() {
     ScopedStageTimer timer(timers_, Stage::kGlobalEstimate);
     if (cfg_.estimator == EstimatorKind::kMaxWeight) {
-      dev_->launch(n_filters_, [&](std::size_t g) {
+      launch("global estimate", [&](std::size_t g) {
         local_best_lw_[g] = cur_.log_weights()[g * m_];  // sorted: best first
       });
       const std::size_t best_g =
@@ -244,20 +296,30 @@ class DistributedParticleFilter {
       const auto s = cur_.state(best_g * m_);
       estimate_.assign(s.begin(), s.end());
       estimate_lw_ = local_best_lw_[best_g];
+      check_estimate_finite();
       return;
     }
     // Weighted mean: per-group partial sums with local max-normalization,
     // combined on the host with a global max correction.
-    dev_->launch(n_filters_, [&](std::size_t g) {
+    launch("global estimate", [&](std::size_t g) {
       const std::size_t base = g * m_;
       const auto lw = cur_.log_weights(base, m_);
       const T local_max = lw[0];
       local_best_lw_[g] = local_max;
-      T wsum = T(0);
       auto wstate = std::span<T>(group_wstate_).subspan(g * dim_, dim_);
       std::fill(wstate.begin(), wstate.end(), T(0));
+      if (!std::isfinite(local_max)) {
+        // Degenerate group (every log-weight -inf, or NaN at the sorted
+        // head): no usable weight mass. exp(lw - local_max) would be NaN
+        // here; contribute nothing instead.
+        local_best_lw_[g] = -std::numeric_limits<T>::infinity();
+        group_wsum_[g] = T(0);
+        return;
+      }
+      T wsum = T(0);
       for (std::size_t p = 0; p < m_; ++p) {
-        const T w = std::exp(lw[p] - local_max);
+        T w = std::exp(lw[p] - local_max);
+        if (!(w >= T(0))) w = T(0);  // NaN guard: a stray NaN weighs nothing
         wsum += w;
         const auto s = cur_.state(base + p);
         for (std::size_t d = 0; d < dim_; ++d) wstate[d] += w * s[d];
@@ -268,6 +330,11 @@ class DistributedParticleFilter {
         sortnet::reduce_max_index(std::span<const T>(local_best_lw_));
     const T global_max = local_best_lw_[best_g];
     estimate_lw_ = global_max;
+    if (!std::isfinite(global_max)) {
+      // Every group is degenerate: there is no weight information at all.
+      // Keep the previous round's estimate rather than emitting NaN.
+      return;
+    }
     T wsum = T(0);
     std::fill(estimate_.begin(), estimate_.end(), T(0));
     for (std::size_t g = 0; g < n_filters_; ++g) {
@@ -281,6 +348,18 @@ class DistributedParticleFilter {
     if (wsum > T(0)) {
       for (auto& v : estimate_) v /= wsum;
     }
+    check_estimate_finite();
+  }
+
+  void check_estimate_finite() const {
+    if (!checker_) return;
+    for (std::size_t d = 0; d < estimate_.size(); ++d) {
+      if (!std::isfinite(estimate_[d])) {
+        debug::fail("global estimate",
+                    "estimate component " + std::to_string(d) + " is not finite",
+                    0);
+      }
+    }
   }
 
   void run_exchange() {
@@ -290,7 +369,7 @@ class DistributedParticleFilter {
     }
     ScopedStageTimer timer(timers_, Stage::kExchange);
     // Phase A: every sub-filter publishes its top-t (sorted: the first t).
-    dev_->launch(n_filters_, [&](std::size_t g) {
+    launch("exchange", [&](std::size_t g) {
       const std::size_t base = g * m_;
       for (std::size_t k = 0; k < t; ++k) {
         const auto s = cur_.state(base + k);
@@ -302,62 +381,103 @@ class DistributedParticleFilter {
     if (topology::is_pooled(cfg_.scheme)) {
       // All-to-All: the pooled kernel selects the same global top-t for
       // every sub-filter ("all sub-filters read back the same t best
-      // particles from the supplied set").
+      // particles from the supplied set"). pool_order_ is sized once in the
+      // constructor (N x t, like the outbox); the partial_sort permutes it,
+      // so each round restarts from the identity.
       std::iota(pool_order_.begin(), pool_order_.end(), std::uint32_t{0});
-      if (pool_order_.size() != outbox_lw_.size()) {
-        pool_order_.resize(outbox_lw_.size());
-        std::iota(pool_order_.begin(), pool_order_.end(), std::uint32_t{0});
-      }
       std::partial_sort(pool_order_.begin(),
                         pool_order_.begin() + static_cast<std::ptrdiff_t>(t),
                         pool_order_.end(), [&](std::uint32_t a, std::uint32_t b) {
                           return outbox_lw_[a] > outbox_lw_[b];
                         });
       std::copy_n(pool_order_.begin(), t, pool_top_.begin());
-      dev_->launch(n_filters_, [&](std::size_t g) {
+      launch("exchange", [&](std::size_t g) {
         const std::size_t base = g * m_;
         for (std::size_t k = 0; k < t; ++k) {
           const std::uint32_t src = pool_top_[k];
-          write_particle(base + m_ - 1 - k, src);
+          write_particle(g, base + m_ - 1 - k, src);
         }
       });
+      commit_exchange_checks();
       return;
     }
     // Phase B: pairwise schemes; each sub-filter pulls its neighbours'
     // published particles and overwrites its own worst ones.
-    dev_->launch(n_filters_, [&](std::size_t g) {
+    launch("exchange", [&](std::size_t g) {
       const std::size_t base = g * m_;
       std::size_t slot = 0;
       for (const std::uint32_t q : neighbors_[g]) {
         for (std::size_t k = 0; k < t; ++k) {
-          write_particle(base + m_ - 1 - slot, q * t + static_cast<std::uint32_t>(k));
+          write_particle(g, base + m_ - 1 - slot,
+                         q * t + static_cast<std::uint32_t>(k));
           ++slot;
         }
       }
     });
+    commit_exchange_checks();
   }
 
-  /// Copies outbox particle `src` into particle slot `dst` of cur_.
-  void write_particle(std::size_t dst, std::uint32_t src) {
+  /// Copies outbox particle `src` into particle slot `dst` of group g.
+  /// Under checking, the destination must stay inside the group's slot
+  /// range [g*m, (g+1)*m) and the source inside the outbox - the canonical
+  /// indexing bugs of a parallel exchange (Sec. IV).
+  void write_particle(std::size_t g, std::size_t dst, std::uint32_t src) {
+    if (checker_) {
+      checker_->expect_in_range(dst, g * m_, (g + 1) * m_, "exchange",
+                                "write outside the group's slot range", g);
+      checker_->expect(src < outbox_lw_.size(), "exchange",
+                       "outbox source index out of range", g, src,
+                       outbox_lw_.size());
+    }
     const T* s = outbox_state_.data() + static_cast<std::size_t>(src) * dim_;
     auto d = cur_.state(dst);
     std::copy(s, s + dim_, d.begin());
     cur_.log_weights()[dst] = outbox_lw_[src];
   }
 
+  /// Host-side: surfaces any write violation the exchange kernels recorded
+  /// and re-validates the post-exchange log-weights.
+  void commit_exchange_checks() {
+    if (!checker_) return;
+    checker_->commit("exchange");
+    for (std::size_t g = 0; g < n_filters_; ++g) {
+      debug::check_log_weights<T>(cur_.log_weights(g * m_, m_), "exchange", g);
+    }
+  }
+
   void run_resampling() {
     ScopedStageTimer timer(timers_, Stage::kResampling);
     std::vector<double> group_ess(n_filters_);
     std::vector<double> group_unique(n_filters_, 1.0);
-    dev_->launch(n_filters_, [&](std::size_t g) {
+    launch("resampling", [&](std::size_t g) {
       const std::size_t base = g * m_;
       const auto lw = cur_.log_weights(base, m_);
       auto w = std::span<T>(weights_).subspan(base, m_);
-      // Exchange may have placed a heavier particle at the tail: recompute
-      // the local maximum rather than trusting the sorted head.
-      T local_max = lw[0];
-      for (std::size_t p = 1; p < m_; ++p) local_max = std::max(local_max, lw[p]);
-      for (std::size_t p = 0; p < m_; ++p) w[p] = std::exp(lw[p] - local_max);
+      resampled_flags_[g] = 0;
+      // Exchange may have placed a heavier particle at the tail: the
+      // normalization recomputes the local maximum rather than trusting
+      // the sorted head. It also sanitizes: non-finite log-weights weigh
+      // zero, and a group with *no* finite log-weight (every likelihood
+      // underflowed, or NaN leaked in) reports itself degenerate - feeding
+      // its NaN weights to RWS/Vose/systematic would yield garbage indices.
+      const bool has_weight_info = resample::normalize_from_log<T>(lw, w);
+      if (!has_weight_info) {
+        // Uniform-ancestor fallback: keep every particle exactly once and
+        // restart the group with uniform weights. Deterministic, preserves
+        // whatever diversity is left, and the next round's likelihoods
+        // rebuild the weight information from scratch.
+        auto out = std::span<std::uint32_t>(resample_out_).subspan(base, m_);
+        for (std::size_t p = 0; p < m_; ++p) out[p] = static_cast<std::uint32_t>(p);
+        std::copy(cur_.state_block(base, m_).begin(),
+                  cur_.state_block(base, m_).end(),
+                  aux_.state_block(base, m_).begin());
+        auto lw_out = aux_.log_weights(base, m_);
+        for (std::size_t p = 0; p < m_; ++p) lw_out[p] = T(0);
+        group_ess[g] = 0.0;
+        resampled_flags_[g] = 1;
+        if (cfg_.roughening_k > 0.0) apply_roughening(g);
+        return;
+      }
       const double ess =
           static_cast<double>(resample::effective_sample_size<T>(w));
       group_ess[g] = ess;
@@ -373,6 +493,7 @@ class DistributedParticleFilter {
         for (std::size_t p = 0; p < m_; ++p) lw_out[p] = lw[p];
         return;
       }
+      resampled_flags_[g] = 1;
       auto out = std::span<std::uint32_t>(resample_out_).subspan(base, m_);
       auto cumsum = std::span<T>(cumsum_).subspan(base, m_);
       switch (cfg_.resample) {
@@ -411,6 +532,19 @@ class DistributedParticleFilter {
       if (cfg_.roughening_k > 0.0) apply_roughening(g);
     });
     cur_.swap(aux_);
+    if (checker_) {
+      const std::size_t roughening_normals =
+          cfg_.roughening_k > 0.0 ? roughening_offset_ + m_ * dim_ : 0;
+      checker_->note_rng_use(roughening_normals, 2 * m_ + 1, "resampling");
+      for (std::size_t g = 0; g < n_filters_; ++g) {
+        if (!resampled_flags_[g]) continue;
+        const auto out =
+            std::span<const std::uint32_t>(resample_out_).subspan(g * m_, m_);
+        debug::check_index_set(out, m_, g);
+        debug::check_resample_distribution<T>(
+            std::span<const T>(weights_).subspan(g * m_, m_), out, g);
+      }
+    }
     ess_sum_ = 0.0;
     for (const double e : group_ess) ess_sum_ += e;
     unique_sum_ = 0.0;
@@ -464,6 +598,7 @@ class DistributedParticleFilter {
   std::vector<T> vose_scaled_;
   std::vector<std::uint32_t> vose_slots_;
   std::vector<std::uint32_t> resample_out_;
+  std::vector<std::uint8_t> resampled_flags_;
   std::vector<T> local_best_lw_;
   std::vector<T> group_wsum_;
   std::vector<T> group_wstate_;
@@ -473,6 +608,8 @@ class DistributedParticleFilter {
   std::vector<std::uint32_t> pool_top_;
   std::vector<std::uint32_t> pool_order_;
   std::vector<T> estimate_;
+  std::unique_ptr<debug::InvariantChecker> checker_;
+  std::unique_ptr<debug::CheckedDevice> checked_dev_;
   T estimate_lw_ = T(0);
   StageTimers timers_;
   double ess_sum_ = 0.0;

@@ -1,0 +1,134 @@
+#include "device/invariants.hpp"
+
+namespace esthera::debug {
+
+void fail(const char* kernel, const std::string& message, std::size_t group) {
+  throw InvariantViolation("[" + std::string(kernel) + "] " + message +
+                           " (group " + std::to_string(group) + ")");
+}
+
+void check_index_set(std::span<const std::uint32_t> idx, std::size_t m,
+                     std::size_t group, const char* kernel) {
+  for (std::size_t p = 0; p < idx.size(); ++p) {
+    if (idx[p] >= m) {
+      fail(kernel,
+           "ancestor index " + std::to_string(p) + " = " +
+               std::to_string(idx[p]) + " outside [0, " + std::to_string(m) + ")",
+           group);
+    }
+  }
+}
+
+void check_permutation(std::span<const std::uint32_t> idx, std::size_t group,
+                       const char* kernel) {
+  const std::size_t m = idx.size();
+  check_index_set(idx, m, group, kernel);
+  std::vector<bool> seen(m, false);
+  for (std::size_t p = 0; p < m; ++p) {
+    if (seen[idx[p]]) {
+      fail(kernel, "index " + std::to_string(idx[p]) + " appears twice; not a permutation",
+           group);
+    }
+    seen[idx[p]] = true;
+  }
+}
+
+double chi_square_statistic(std::span<const double> expected,
+                            std::span<const std::uint32_t> ancestors,
+                            std::size_t* bins_out) {
+  std::vector<double> counts(expected.size(), 0.0);
+  for (const std::uint32_t a : ancestors) {
+    if (a < counts.size()) counts[a] += 1.0;
+  }
+  double chi2 = 0.0;
+  double tail_obs = 0.0;
+  double tail_exp = 0.0;
+  std::size_t bins = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i] < 1.0) {
+      tail_obs += counts[i];
+      tail_exp += expected[i];
+    } else {
+      const double d = counts[i] - expected[i];
+      chi2 += d * d / expected[i];
+      ++bins;
+    }
+  }
+  if (tail_obs > 0.0 || tail_exp > 0.0) {
+    // The tail denominator is floored so a pile of observations on
+    // near-zero-weight particles (the classic garbage-index signature)
+    // still produces a large, finite statistic.
+    const double d = tail_obs - tail_exp;
+    chi2 += d * d / std::max(tail_exp, 0.5);
+    ++bins;
+  }
+  if (bins_out != nullptr) *bins_out = bins;
+  return chi2;
+}
+
+InvariantChecker::InvariantChecker(std::size_t n_filters,
+                                   std::size_t particles_per_filter,
+                                   std::size_t normals_budget,
+                                   std::size_t uniforms_budget)
+    : n_filters_(n_filters),
+      m_(particles_per_filter),
+      normals_budget_(normals_budget),
+      uniforms_budget_(uniforms_budget) {}
+
+void InvariantChecker::note_rng_use(std::size_t normals, std::size_t uniforms,
+                                    const char* kernel) {
+  auto raise = [](std::atomic<std::size_t>& hwm, std::size_t v) {
+    std::size_t cur = hwm.load(std::memory_order_relaxed);
+    while (v > cur && !hwm.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  };
+  raise(normals_hwm_, normals);
+  raise(uniforms_hwm_, uniforms);
+  if (normals > normals_budget_) {
+    fail(kernel,
+         "consumed " + std::to_string(normals) + " normals per group; budget is " +
+             std::to_string(normals_budget_),
+         0);
+  }
+  if (uniforms > uniforms_budget_) {
+    fail(kernel,
+         "consumed " + std::to_string(uniforms) +
+             " uniforms per group; budget is " + std::to_string(uniforms_budget_),
+         0);
+  }
+}
+
+void InvariantChecker::expect(bool ok, const char* kernel, const char* what,
+                              std::size_t group, std::size_t value,
+                              std::size_t bound) {
+  if (ok) [[likely]] {
+    return;
+  }
+  std::lock_guard lock(failure_mutex_);
+  if (!failed_.load(std::memory_order_relaxed)) {
+    failure_message_ = "[" + std::string(kernel) + "] " + what + ": " +
+                       std::to_string(value) + " (bound " +
+                       std::to_string(bound) + ")";
+    failure_group_ = group;
+    failed_.store(true, std::memory_order_release);
+  }
+}
+
+void InvariantChecker::commit(const char* kernel) {
+  if (!failed_.load(std::memory_order_acquire)) [[likely]] {
+    return;
+  }
+  std::string message;
+  std::size_t group = 0;
+  {
+    std::lock_guard lock(failure_mutex_);
+    message = failure_message_;
+    group = failure_group_;
+    failure_message_.clear();
+    failed_.store(false, std::memory_order_release);
+  }
+  (void)kernel;  // the recorded message already names the kernel
+  throw InvariantViolation(message + " (group " + std::to_string(group) + ")");
+}
+
+}  // namespace esthera::debug

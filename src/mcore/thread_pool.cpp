@@ -1,6 +1,7 @@
 #include "mcore/thread_pool.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
@@ -31,6 +32,11 @@ void ThreadPool::execute_share(Job& job, std::size_t worker_index) {
     for (std::size_t i = start; i < stop; ++i) (*job.fn)(i, worker_index);
     if (job.done.fetch_add(stop - start, std::memory_order_acq_rel) + (stop - start) ==
         job.n) {
+      // Synchronize with the waiter before notifying: without taking the
+      // mutex here, the caller can evaluate its wait predicate (done < n),
+      // lose the CPU before sleeping, miss this notify, and block forever
+      // on a job that is already complete.
+      { std::lock_guard lock(mutex_); }
       cv_done_.notify_all();
     }
   }
@@ -81,8 +87,17 @@ void ThreadPool::run(std::size_t n,
 
 std::size_t ThreadPool::default_worker_count() {
   if (const char* env = std::getenv("ESTHERA_WORKERS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
+    // Accept only a fully numeric positive value; anything else ("", "abc",
+    // "12abc", "0x4", "-3", "0", or an absurdly large number) falls back to
+    // hardware_concurrency instead of spawning a garbage-sized pool.
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    // strtol itself skips leading whitespace; require a digit up front so
+    // the accepted grammar really is digits-only.
+    const bool parsed = env[0] >= '0' && env[0] <= '9' && end != env &&
+                        end != nullptr && *end == '\0' && errno == 0;
+    if (parsed && v > 0 && v <= kMaxWorkers) return static_cast<std::size_t>(v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

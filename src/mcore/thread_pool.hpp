@@ -48,8 +48,13 @@ class ThreadPool {
   void run(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
            std::size_t chunk = 1);
 
+  /// Upper bound accepted from ESTHERA_WORKERS; larger requests (or any
+  /// malformed value) fall back to hardware_concurrency().
+  static constexpr long kMaxWorkers = 1024;
+
   /// Convenience: pick a worker count from the ESTHERA_WORKERS environment
-  /// variable, falling back to std::thread::hardware_concurrency().
+  /// variable, falling back to std::thread::hardware_concurrency(). Only a
+  /// fully numeric value in [1, kMaxWorkers] is honoured.
   static std::size_t default_worker_count();
 
  private:

@@ -10,6 +10,7 @@
 // MTGP parameter tables. Documented as a substitution in DESIGN.md.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -40,15 +41,19 @@ struct RandomBuffer {
   }
 
   [[nodiscard]] std::span<T> group_normals(std::size_t g) {
+    assert(g < groups);
     return {normals.data() + g * normals_per_group, normals_per_group};
   }
   [[nodiscard]] std::span<T> group_uniforms(std::size_t g) {
+    assert(g < groups);
     return {uniforms.data() + g * uniforms_per_group, uniforms_per_group};
   }
   [[nodiscard]] std::span<const T> group_normals(std::size_t g) const {
+    assert(g < groups);
     return {normals.data() + g * normals_per_group, normals_per_group};
   }
   [[nodiscard]] std::span<const T> group_uniforms(std::size_t g) const {
+    assert(g < groups);
     return {uniforms.data() + g * uniforms_per_group, uniforms_per_group};
   }
 };

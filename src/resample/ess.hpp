@@ -4,10 +4,35 @@
 // every round; all three policies are provided.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <span>
 
 namespace esthera::resample {
+
+/// Max-normalizes log-weights into linear weights: w[i] = exp(lw[i] - max),
+/// with the maximum taken over the finite entries only. Non-finite entries
+/// (NaN, +/-inf) contribute zero weight, so a stray NaN cannot poison the
+/// whole group. Returns true when at least one finite log-weight exists;
+/// otherwise the population carries no usable weight information (e.g.
+/// every likelihood underflowed to -inf), `w` is filled with uniform ones,
+/// and the caller should fall back to uniform ancestor selection.
+template <typename T>
+bool normalize_from_log(std::span<const T> lw, std::span<T> w) {
+  T local_max = -std::numeric_limits<T>::infinity();
+  for (const T v : lw) {
+    if (std::isfinite(v) && v > local_max) local_max = v;
+  }
+  if (!std::isfinite(local_max)) {
+    for (auto& v : w) v = T(1);
+    return false;
+  }
+  for (std::size_t p = 0; p < lw.size(); ++p) {
+    w[p] = std::isfinite(lw[p]) ? std::exp(lw[p] - local_max) : T(0);
+  }
+  return true;
+}
 
 /// Effective sample size of a weight vector: (sum w)^2 / sum w^2.
 /// Equals n for uniform weights and 1 for a fully degenerate set.

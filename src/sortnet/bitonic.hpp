@@ -75,6 +75,8 @@ void gather_rows(std::span<const T> src, std::span<T> dst, std::span<const I> pe
   assert(dst.size() == perm.size() * dim);
   assert(src.size() >= dst.size());
   for (std::size_t i = 0; i < perm.size(); ++i) {
+    // A corrupt permutation entry must not read out of bounds.
+    assert(static_cast<std::size_t>(perm[i]) * dim + dim <= src.size());
     const T* in = src.data() + static_cast<std::size_t>(perm[i]) * dim;
     T* out = dst.data() + i * dim;
     for (std::size_t d = 0; d < dim; ++d) out[d] = in[d];

@@ -73,6 +73,68 @@ TEST(DistributedPf, ConfigValidation) {
   EXPECT_NO_THROW(small_config().validate());
 }
 
+TEST(DistributedPf, ValidationDependsOnTopologyDegree) {
+  // Inflow is degree x t. With m=8 and t=2 a ring (degree 2, inflow 4)
+  // is fine while a 2D torus (degree 4, inflow 8 >= m) must be rejected.
+  core::FilterConfig cfg = small_config();
+  cfg.particles_per_filter = 8;
+  cfg.exchange_particles = 2;
+  cfg.scheme = topology::ExchangeScheme::kRing;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.scheme = topology::ExchangeScheme::kTorus2D;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // All-to-All pools globally: inflow is t alone, so t=2 stays legal.
+  cfg.scheme = topology::ExchangeScheme::kAllToAll;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(DistributedPf, ExchangeAtMaximumLegalVolume) {
+  // N=2 ring: each filter has one neighbour, so inflow = t. t = m-1 = 7 is
+  // the largest legal exchange; every slot but one is overwritten each
+  // round. The filter must run and stay finite right at the boundary.
+  core::FilterConfig cfg = small_config();
+  cfg.particles_per_filter = 8;
+  cfg.num_filters = 2;
+  cfg.exchange_particles = 7;
+  ASSERT_NO_THROW(cfg.validate());
+  sim::RobotArmScenario scenario;
+  scenario.reset(11);
+  ArmFilterF pf(scenario.make_model<float>(), cfg);
+  std::vector<float> z, u;
+  for (int k = 0; k < 10; ++k) {
+    const auto step = scenario.advance();
+    z.assign(step.z.begin(), step.z.end());
+    u.assign(step.u.begin(), step.u.end());
+    pf.step(z, u);
+    for (const float v : pf.estimate()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(DistributedPf, InjectedParticleEntersNextRound) {
+  // inject() replaces group g's last slot; a subsequent step() must still
+  // satisfy every kernel invariant and produce a finite estimate, and a
+  // dominant injected particle must be able to win the global estimate.
+  sim::RobotArmScenario scenario;
+  scenario.reset(13);
+  core::FilterConfig cfg = small_config();
+  cfg.check_invariants = true;
+  ArmFilterF pf(scenario.make_model<float>(), cfg);
+  std::vector<float> z, u;
+  const auto first = scenario.advance();
+  z.assign(first.z.begin(), first.z.end());
+  u.assign(first.u.begin(), first.u.end());
+  pf.step(z, u);
+  // Inject a copy of the current estimate with a huge log-weight head
+  // start into group 5.
+  const std::vector<float> state(pf.estimate().begin(), pf.estimate().end());
+  pf.inject(state, 50.0f, 5);
+  const auto second = scenario.advance();
+  z.assign(second.z.begin(), second.z.end());
+  u.assign(second.u.begin(), second.u.end());
+  EXPECT_NO_THROW(pf.step(z, u));
+  for (const float v : pf.estimate()) EXPECT_TRUE(std::isfinite(v));
+}
+
 TEST(DistributedPf, WorkerCountInvariance) {
   sim::RobotArmScenario scenario;
   const auto run = [&](std::size_t workers) {
@@ -267,6 +329,37 @@ TEST(DistributedPf, SharedDeviceAcrossFilters) {
   // Same config, same seed, same device: identical estimates.
   EXPECT_EQ(std::vector<float>(a.estimate().begin(), a.estimate().end()),
             std::vector<float>(b.estimate().begin(), b.estimate().end()));
+}
+
+TEST(DistributedPf, SharedDeviceStress) {
+  // Many interleaved rounds of several filters over one device: exercises
+  // the pool's job hand-off path hard (a TSan target for the cv_done_
+  // synchronization) and checks the filters stay independent.
+  auto dev = std::make_shared<device::Device>(4);
+  sim::RobotArmScenario scenario;
+  scenario.reset(29);
+  core::FilterConfig cfg = small_config();
+  cfg.particles_per_filter = 16;
+  cfg.num_filters = 8;
+  std::vector<ArmFilterF> filters;
+  filters.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    filters.emplace_back(scenario.make_model<float>(), cfg, dev);
+  }
+  std::vector<float> z, u;
+  for (int k = 0; k < 20; ++k) {
+    const auto step = scenario.advance();
+    z.assign(step.z.begin(), step.z.end());
+    u.assign(step.u.begin(), step.u.end());
+    for (auto& pf : filters) pf.step(z, u);
+  }
+  // Same config, same seed, same shared device: all three agree bit-exactly.
+  const std::vector<float> e0(filters[0].estimate().begin(),
+                              filters[0].estimate().end());
+  for (std::size_t i = 1; i < filters.size(); ++i) {
+    EXPECT_EQ(e0, std::vector<float>(filters[i].estimate().begin(),
+                                     filters[i].estimate().end()));
+  }
 }
 
 TEST(DistributedPf, StageTimersCoverAllKernels) {

@@ -1,0 +1,403 @@
+// esthera::debug invariant-checker tests: unit coverage of every free
+// checker, the RandomBuffer budget tracking, the deferred expect/commit
+// machinery, CheckedDevice launch coverage, and - most importantly -
+// mutation smoke tests proving the checkers actually catch the bug
+// classes they exist for (corrupted resample indices, a wrong-direction
+// sort comparator), plus filter-level runs with checking enabled across
+// every resampler and exchange scheme.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/centralized_pf.hpp"
+#include "core/distributed_pf.hpp"
+#include "device/device.hpp"
+#include "device/invariants.hpp"
+#include "models/growth.hpp"
+#include "models/robot_arm.hpp"
+#include "sim/ground_truth.hpp"
+#include "sortnet/bitonic.hpp"
+
+namespace {
+
+using namespace esthera;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------------
+// Free checkers
+// ---------------------------------------------------------------------------
+
+TEST(InvariantCheckers, LogWeightsAcceptFiniteAndMinusInf) {
+  const std::vector<double> lw = {0.0, -3.5, -kInf, -1e300};
+  EXPECT_NO_THROW(debug::check_log_weights<double>(lw, "weighting", 0));
+}
+
+TEST(InvariantCheckers, LogWeightsRejectNaNAndPlusInf) {
+  const std::vector<double> nan_lw = {0.0, kNaN};
+  EXPECT_THROW(debug::check_log_weights<double>(nan_lw, "weighting", 1),
+               debug::InvariantViolation);
+  const std::vector<double> inf_lw = {kInf, 0.0};
+  EXPECT_THROW(debug::check_log_weights<double>(inf_lw, "weighting", 2),
+               debug::InvariantViolation);
+}
+
+TEST(InvariantCheckers, SortedDescendingAcceptsTiesAndMinusInf) {
+  const std::vector<double> keys = {2.0, 2.0, 0.5, -kInf, -kInf};
+  EXPECT_NO_THROW(debug::check_sorted_descending<double>(keys, 0));
+}
+
+TEST(InvariantCheckers, SortedDescendingRejectsAscendingPairAndNaN) {
+  const std::vector<double> bad = {3.0, 1.0, 2.0};
+  EXPECT_THROW(debug::check_sorted_descending<double>(bad, 0),
+               debug::InvariantViolation);
+  const std::vector<double> nan_keys = {3.0, kNaN, 1.0};
+  EXPECT_THROW(debug::check_sorted_descending<double>(nan_keys, 0),
+               debug::InvariantViolation);
+}
+
+TEST(InvariantCheckers, IndexSetBounds) {
+  const std::vector<std::uint32_t> ok = {0, 3, 3, 1};
+  EXPECT_NO_THROW(debug::check_index_set(ok, 4, 0));
+  const std::vector<std::uint32_t> bad = {0, 4, 1, 2};
+  EXPECT_THROW(debug::check_index_set(bad, 4, 0), debug::InvariantViolation);
+}
+
+TEST(InvariantCheckers, PermutationCheck) {
+  const std::vector<std::uint32_t> perm = {2, 0, 3, 1};
+  EXPECT_NO_THROW(debug::check_permutation(perm, 0));
+  const std::vector<std::uint32_t> dup = {2, 0, 2, 1};
+  EXPECT_THROW(debug::check_permutation(dup, 0), debug::InvariantViolation);
+  const std::vector<std::uint32_t> oob = {2, 0, 4, 1};
+  EXPECT_THROW(debug::check_permutation(oob, 0), debug::InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Chi-square resample-distribution smoke bound
+// ---------------------------------------------------------------------------
+
+TEST(InvariantCheckers, ChiSquareAcceptsFaithfulResample) {
+  // Uniform weights resampled to the identity: observed == expected.
+  const std::size_t m = 64;
+  std::vector<double> w(m, 1.0);
+  std::vector<std::uint32_t> anc(m);
+  std::iota(anc.begin(), anc.end(), 0u);
+  EXPECT_NO_THROW(debug::check_resample_distribution<double>(w, anc, 0));
+}
+
+TEST(InvariantCheckers, ChiSquareCatchesConstantAncestor) {
+  // All draws collapse onto a particle holding ~1/64 of the mass: exactly
+  // the signature of corrupted index math. The statistic explodes.
+  const std::size_t m = 64;
+  std::vector<double> w(m, 1.0);
+  std::vector<std::uint32_t> anc(m, 7u);
+  EXPECT_THROW(debug::check_resample_distribution<double>(w, anc, 0),
+               debug::InvariantViolation);
+}
+
+TEST(InvariantCheckers, ChiSquareSkipsTinyGroups) {
+  // Groups below 8 particles have no statistical power and are skipped,
+  // even with a pathological ancestor vector.
+  std::vector<double> w(4, 1.0);
+  const std::vector<std::uint32_t> anc = {0, 0, 0, 0};
+  EXPECT_NO_THROW(debug::check_resample_distribution<double>(w, anc, 0));
+}
+
+TEST(InvariantCheckers, ChiSquareLumpsTinyWeightBins) {
+  // One dominant particle plus many negligible ones: the tiny expected
+  // counts must be lumped, so an honest "all draws pick the heavy one"
+  // outcome passes.
+  const std::size_t m = 32;
+  std::vector<double> w(m, 1e-12);
+  w[5] = 1.0;
+  std::vector<std::uint32_t> anc(m, 5u);
+  EXPECT_NO_THROW(debug::check_resample_distribution<double>(w, anc, 0));
+}
+
+// ---------------------------------------------------------------------------
+// InvariantChecker state: RNG budgets, PRNG buffer validation, expect/commit
+// ---------------------------------------------------------------------------
+
+TEST(InvariantChecker, TracksRngHighWaterMarks) {
+  debug::InvariantChecker chk(4, 32, 100, 65);
+  chk.note_rng_use(10, 5, "sampling");
+  chk.note_rng_use(40, 65, "resampling");
+  chk.note_rng_use(20, 1, "roughening");
+  EXPECT_EQ(chk.normals_high_water(), 40u);
+  EXPECT_EQ(chk.uniforms_high_water(), 65u);
+  EXPECT_EQ(chk.normals_budget(), 100u);
+  EXPECT_EQ(chk.uniforms_budget(), 65u);
+}
+
+TEST(InvariantChecker, ThrowsOnBudgetOverrun) {
+  debug::InvariantChecker chk(4, 32, 100, 65);
+  EXPECT_THROW(chk.note_rng_use(101, 0, "sampling"), debug::InvariantViolation);
+  EXPECT_THROW(chk.note_rng_use(0, 66, "resampling"), debug::InvariantViolation);
+}
+
+TEST(InvariantChecker, PrngBufferValidation) {
+  debug::InvariantChecker chk(2, 4, 4, 4);
+  std::vector<double> normals(8, 0.5);
+  std::vector<double> uniforms(8, 0.25);
+  EXPECT_NO_THROW(chk.check_prng_buffers<double>(normals, uniforms));
+  normals[3] = kInf;
+  EXPECT_THROW(chk.check_prng_buffers<double>(normals, uniforms),
+               debug::InvariantViolation);
+  normals[3] = 0.0;
+  uniforms[6] = 1.0;  // uniforms live in [0, 1): 1.0 exactly is a violation
+  EXPECT_THROW(chk.check_prng_buffers<double>(normals, uniforms),
+               debug::InvariantViolation);
+}
+
+TEST(InvariantChecker, ExpectCommitDefersThrowToHost) {
+  debug::InvariantChecker chk(2, 4, 4, 4);
+  chk.expect(true, "exchange", "fine", 0, 1, 2);
+  EXPECT_NO_THROW(chk.commit("exchange"));
+  // Recording never throws (it runs inside device kernels) ...
+  EXPECT_NO_THROW(chk.expect_in_range(9, 0, 4, "exchange", "write out of slot", 1));
+  // ... the deferred host-side commit does.
+  EXPECT_THROW(chk.commit("exchange"), debug::InvariantViolation);
+  // And commit clears the recorded failure.
+  EXPECT_NO_THROW(chk.commit("exchange"));
+}
+
+TEST(CheckedDevice, CountsEveryGroupExactlyOnce) {
+  device::Device dev(3);
+  debug::CheckedDevice checked(dev);
+  std::vector<int> touched(64, 0);
+  EXPECT_NO_THROW(checked.launch("test kernel", 64,
+                                 [&](std::size_t g) { touched[g] = 1; }));
+  for (int t : touched) EXPECT_EQ(t, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation smoke tests: corrupt a kernel output the way a real bug would
+// and verify the checker trips.
+// ---------------------------------------------------------------------------
+
+TEST(MutationSmoke, CorruptedResampleIndexTrips) {
+  // Simulate an off-by-one group-offset bug: one ancestor escapes [0, m).
+  const std::size_t m = 32;
+  std::vector<std::uint32_t> anc(m);
+  std::iota(anc.begin(), anc.end(), 0u);
+  anc[17] = static_cast<std::uint32_t>(m);  // first slot of the next group
+  EXPECT_THROW(debug::check_index_set(anc, m, 3), debug::InvariantViolation);
+}
+
+TEST(MutationSmoke, WrongSortComparatorTrips) {
+  // The local-sort kernel must order best-first (descending). Running the
+  // network with the wrong comparator (ascending std::less) produces
+  // exactly the ordering bug the checker exists for.
+  std::vector<double> keys = {0.3, -1.2, 2.5, 0.0, -0.7, 1.1, 0.9, -2.0};
+  std::vector<std::uint32_t> idx(keys.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  sortnet::bitonic_sort_by_key<double, std::uint32_t>(keys, idx,
+                                                      std::less<double>{});
+  EXPECT_THROW(debug::check_sorted_descending<double>(keys, 0),
+               debug::InvariantViolation);
+  // The correct comparator passes both the order and permutation checks.
+  sortnet::bitonic_sort_by_key<double, std::uint32_t>(keys, idx,
+                                                      std::greater<double>{});
+  EXPECT_NO_THROW(debug::check_sorted_descending<double>(keys, 0));
+  EXPECT_NO_THROW(debug::check_permutation(idx, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Filter-level: whole pipelines run clean under full checking.
+// ---------------------------------------------------------------------------
+
+core::FilterConfig checked_config() {
+  core::FilterConfig cfg;
+  cfg.particles_per_filter = 32;
+  cfg.num_filters = 16;
+  cfg.scheme = topology::ExchangeScheme::kRing;
+  cfg.exchange_particles = 1;
+  cfg.workers = 2;
+  cfg.seed = 1234;
+  cfg.check_invariants = true;
+  return cfg;
+}
+
+template <typename T>
+void run_growth_steps(core::DistributedParticleFilter<models::GrowthModel<T>>& pf,
+                      int steps) {
+  sim::ModelSimulator<models::GrowthModel<T>> sim(models::GrowthModel<T>{}, 7);
+  for (int k = 0; k < steps; ++k) {
+    const auto step = sim.advance();
+    pf.step(std::span<const T>(step.z));
+  }
+}
+
+TEST(CheckedFilter, AllResamplersRunCleanUnderChecking) {
+  for (const auto alg :
+       {core::ResampleAlgorithm::kRws, core::ResampleAlgorithm::kVose,
+        core::ResampleAlgorithm::kSystematic, core::ResampleAlgorithm::kStratified}) {
+    core::FilterConfig cfg = checked_config();
+    cfg.resample = alg;
+    core::DistributedParticleFilter<models::GrowthModel<double>> pf(
+        models::GrowthModel<double>{}, cfg);
+    EXPECT_NO_THROW(run_growth_steps(pf, 12)) << core::to_string(alg);
+  }
+}
+
+TEST(CheckedFilter, AllSchemesAndEstimatorsRunCleanUnderChecking) {
+  for (const auto scheme :
+       {topology::ExchangeScheme::kNone, topology::ExchangeScheme::kRing,
+        topology::ExchangeScheme::kTorus2D, topology::ExchangeScheme::kAllToAll}) {
+    for (const auto est :
+         {core::EstimatorKind::kMaxWeight, core::EstimatorKind::kWeightedMean}) {
+      core::FilterConfig cfg = checked_config();
+      cfg.scheme = scheme;
+      cfg.estimator = est;
+      core::DistributedParticleFilter<models::GrowthModel<double>> pf(
+          models::GrowthModel<double>{}, cfg);
+      EXPECT_NO_THROW(run_growth_steps(pf, 12)) << topology::to_string(scheme);
+    }
+  }
+}
+
+TEST(CheckedFilter, RougheningStaysWithinRngBudget) {
+  core::FilterConfig cfg = checked_config();
+  cfg.roughening_k = 0.2;
+  core::DistributedParticleFilter<models::GrowthModel<double>> pf(
+      models::GrowthModel<double>{}, cfg);
+  EXPECT_NO_THROW(run_growth_steps(pf, 12));
+}
+
+TEST(CheckedFilter, CheckingDoesNotChangeResults) {
+  // The checker observes; it must never perturb. Identical seeds with
+  // checking on and off must give bit-identical estimates.
+  const auto run = [](bool checked) {
+    core::FilterConfig cfg = checked_config();
+    cfg.check_invariants = checked;
+    core::DistributedParticleFilter<models::GrowthModel<double>> pf(
+        models::GrowthModel<double>{}, cfg);
+    sim::ModelSimulator<models::GrowthModel<double>> sim(
+        models::GrowthModel<double>{}, 7);
+    std::vector<double> estimates;
+    for (int k = 0; k < 10; ++k) {
+      const auto step = sim.advance();
+      pf.step(std::span<const double>(step.z));
+      estimates.push_back(pf.estimate()[0]);
+    }
+    return estimates;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate-weight handling end to end (satellite of the same PR): a
+// model whose likelihood is -inf everywhere must not produce NaN and must
+// pass checking.
+// ---------------------------------------------------------------------------
+
+/// Growth dynamics with an impossible measurement: every particle's
+/// log-likelihood is -inf, the worst-case weight degeneracy.
+template <typename T>
+class ImpossibleModel {
+ public:
+  using Scalar = T;
+  [[nodiscard]] std::size_t state_dim() const { return inner_.state_dim(); }
+  [[nodiscard]] std::size_t measurement_dim() const {
+    return inner_.measurement_dim();
+  }
+  [[nodiscard]] std::size_t control_dim() const { return inner_.control_dim(); }
+  [[nodiscard]] std::size_t noise_dim() const { return inner_.noise_dim(); }
+  [[nodiscard]] std::size_t init_noise_dim() const {
+    return inner_.init_noise_dim();
+  }
+  [[nodiscard]] std::size_t measurement_noise_dim() const {
+    return inner_.measurement_noise_dim();
+  }
+  void sample_initial(std::span<T> x, std::span<const T> n) const {
+    inner_.sample_initial(x, n);
+  }
+  void sample_transition(std::span<const T> xp, std::span<T> x,
+                         std::span<const T> u, std::span<const T> n,
+                         std::size_t step) const {
+    inner_.sample_transition(xp, x, u, n, step);
+  }
+  void sample_measurement(std::span<const T> x, std::span<T> z,
+                          std::span<const T> n) const {
+    inner_.sample_measurement(x, z, n);
+  }
+  [[nodiscard]] T log_likelihood(std::span<const T>, std::span<const T>) const {
+    return -std::numeric_limits<T>::infinity();
+  }
+
+ private:
+  models::GrowthModel<T> inner_;
+};
+
+TEST(DegenerateWeights, DistributedFilterSurvivesAllMinusInf) {
+  core::FilterConfig cfg = checked_config();
+  core::DistributedParticleFilter<ImpossibleModel<double>> pf(
+      ImpossibleModel<double>{}, cfg);
+  const std::vector<double> z = {0.0};
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_NO_THROW(pf.step(z)) << "step " << k;
+    for (const double v : pf.estimate()) EXPECT_TRUE(std::isfinite(v));
+  }
+  // The uniform fallback resamples every particle exactly once: full
+  // parent diversity despite zero weight information.
+  EXPECT_DOUBLE_EQ(pf.mean_unique_parent_fraction(), 1.0);
+  EXPECT_EQ(pf.mean_ess(), 0.0);
+}
+
+TEST(DegenerateWeights, CentralizedFilterSurvivesAllMinusInf) {
+  core::CentralizedOptions opts;
+  opts.check_invariants = true;
+  core::CentralizedParticleFilter<ImpossibleModel<double>> pf(
+      ImpossibleModel<double>{}, 64, opts);
+  const std::vector<double> z = {0.0};
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_NO_THROW(pf.step(z)) << "step " << k;
+    for (const double v : pf.estimate()) EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(pf.ess(), 0.0);
+}
+
+TEST(DegenerateWeights, CentralizedRecoversWhenWeightsReturn) {
+  // One impossible round must not poison subsequent normal rounds: the
+  // uniform restart re-enables ordinary resampling afterwards.
+  core::CentralizedOptions opts;
+  opts.check_invariants = true;
+  core::CentralizedParticleFilter<models::GrowthModel<double>> pf(
+      models::GrowthModel<double>{}, 128, opts);
+  sim::ModelSimulator<models::GrowthModel<double>> sim(
+      models::GrowthModel<double>{}, 3);
+  for (int k = 0; k < 8; ++k) {
+    const auto step = sim.advance();
+    ASSERT_NO_THROW(pf.step(std::span<const double>(step.z)));
+    EXPECT_TRUE(std::isfinite(pf.estimate()[0]));
+  }
+  EXPECT_GT(pf.ess(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Re-initialize resets diagnostics (satellite of the same PR).
+// ---------------------------------------------------------------------------
+
+TEST(Reinitialize, ClearsDiagnosticsAndTimers) {
+  core::FilterConfig cfg = checked_config();
+  core::DistributedParticleFilter<models::GrowthModel<double>> pf(
+      models::GrowthModel<double>{}, cfg);
+  run_growth_steps(pf, 5);
+  EXPECT_GT(pf.mean_ess(), 0.0);
+  EXPECT_GT(pf.mean_unique_parent_fraction(), 0.0);
+  pf.initialize();
+  EXPECT_EQ(pf.mean_ess(), 0.0);
+  EXPECT_EQ(pf.mean_unique_parent_fraction(), 0.0);
+  EXPECT_EQ(pf.estimate_log_weight(), 0.0);
+  EXPECT_EQ(pf.step_index(), 0u);
+  // And the filter still runs cleanly after the reset.
+  EXPECT_NO_THROW(run_growth_steps(pf, 5));
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "device/device.hpp"
@@ -88,6 +89,63 @@ TEST(ThreadPool, DefaultWorkerCountHonorsEnv) {
   EXPECT_EQ(mcore::ThreadPool::default_worker_count(), 3u);
   unsetenv("ESTHERA_WORKERS");
   EXPECT_GE(mcore::ThreadPool::default_worker_count(), 1u);
+}
+
+TEST(ThreadPool, DefaultWorkerCountRejectsGarbageEnv) {
+  const std::size_t fallback = [] {
+    unsetenv("ESTHERA_WORKERS");
+    return mcore::ThreadPool::default_worker_count();
+  }();
+  // Malformed, non-positive, partially numeric, or absurd values must all
+  // fall back to the hardware default instead of being honoured.
+  for (const char* bad :
+       {"", "abc", "0", "-3", "12abc", "0x4", "3.5", " 4", "99999999999999999999"}) {
+    setenv("ESTHERA_WORKERS", bad, 1);
+    EXPECT_EQ(mcore::ThreadPool::default_worker_count(), fallback)
+        << "ESTHERA_WORKERS=\"" << bad << '"';
+  }
+  // The cap itself is still accepted; one past it is not.
+  setenv("ESTHERA_WORKERS", "1024", 1);
+  EXPECT_EQ(mcore::ThreadPool::default_worker_count(), 1024u);
+  setenv("ESTHERA_WORKERS", "1025", 1);
+  EXPECT_EQ(mcore::ThreadPool::default_worker_count(), fallback);
+  unsetenv("ESTHERA_WORKERS");
+}
+
+TEST(ThreadPool, RepeatedSmallRunsDoNotLoseCompletionSignal) {
+  // Regression hammer for the lost-wakeup race on cv_done_: a worker that
+  // finished the last index used to notify without holding the mutex, so
+  // the caller could miss the signal and block forever. Many short jobs
+  // with more workers than work maximize the window. Run under TSan to
+  // check the synchronization, and under the ~wall-clock ctest timeout to
+  // catch a deadlock regression.
+  mcore::ThreadPool pool(8);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 2000; ++round) {
+    pool.run(3, [&](std::size_t, std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 6000);
+}
+
+TEST(ThreadPool, ConcurrentPoolsDoNotInterfere) {
+  // Two pools hammered from two threads: all state must be per-pool.
+  const auto hammer = [](mcore::ThreadPool& pool, std::atomic<long>& sum) {
+    for (int round = 0; round < 500; ++round) {
+      pool.run(16, [&](std::size_t i, std::size_t) {
+        sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+      });
+    }
+  };
+  mcore::ThreadPool a(4), b(4);
+  std::atomic<long> sa{0}, sb{0};
+  std::thread ta([&] { hammer(a, sa); });
+  std::thread tb([&] { hammer(b, sb); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(sa.load(), 500L * 120L);
+  EXPECT_EQ(sb.load(), 500L * 120L);
 }
 
 TEST(Device, LaunchCoversAllGroups) {

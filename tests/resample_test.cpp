@@ -6,8 +6,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "prng/distributions.hpp"
@@ -32,6 +34,80 @@ std::vector<double> random_weights(std::size_t n, std::uint32_t seed,
     w[n / 2] = 0.0;
   }
   return w;
+}
+
+// --- Log-weight normalization ------------------------------------------
+
+TEST(NormalizeFromLog, MaxNormalizesFiniteWeights) {
+  const std::vector<double> lw = {-1.0, 0.0, -3.0};
+  std::vector<double> w(3);
+  EXPECT_TRUE(resample::normalize_from_log<double>(lw, w));
+  EXPECT_DOUBLE_EQ(w[1], 1.0);  // the maximum maps to exactly 1
+  EXPECT_NEAR(w[0], std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(w[2], std::exp(-3.0), 1e-12);
+}
+
+TEST(NormalizeFromLog, NonFiniteEntriesWeighZero) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> lw = {0.0, -inf, nan, -2.0};
+  std::vector<double> w(4);
+  EXPECT_TRUE(resample::normalize_from_log<double>(lw, w));
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);  // a stray NaN must not poison the group
+  EXPECT_NEAR(w[3], std::exp(-2.0), 1e-12);
+}
+
+TEST(NormalizeFromLog, AllNonFiniteReportsDegenerate) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const double v : {-inf, nan}) {
+    const std::vector<double> lw(8, v);
+    std::vector<double> w(8, -1.0);
+    EXPECT_FALSE(resample::normalize_from_log<double>(lw, w));
+    for (const double x : w) EXPECT_DOUBLE_EQ(x, 1.0);  // uniform fallback
+  }
+}
+
+TEST(NormalizeFromLog, HugeNegativeButFiniteIsNotDegenerate) {
+  const std::vector<double> lw(4, -1e308);
+  std::vector<double> w(4);
+  EXPECT_TRUE(resample::normalize_from_log<double>(lw, w));
+  for (const double x : w) EXPECT_DOUBLE_EQ(x, 1.0);  // all equal to the max
+}
+
+// Each algorithm consumes the uniform fallback weights without producing
+// out-of-range or duplicated-beyond-reason ancestors: the degenerate
+// branch hands them exactly this vector.
+TEST(NormalizeFromLog, FallbackWeightsAreValidForEveryAlgorithm) {
+  const std::size_t n = 64;
+  std::vector<double> w(n, 1.0);  // what the degenerate fallback produces
+  std::vector<double> cumsum(n);
+  std::vector<std::uint32_t> out(n);
+  prng::Mt19937 rng(77);
+  std::vector<double> uniforms(2 * n);
+  for (auto& u : uniforms) u = prng::uniform01<double>(rng);
+
+  resample::rws_resample<double>(w, std::span<const double>(uniforms).first(n),
+                                 out, cumsum);
+  for (const auto a : out) EXPECT_LT(a, n);
+
+  resample::AliasTable<double> table;
+  resample::vose_build<double>(w, table);
+  resample::vose_sample<double>(table, uniforms, out);
+  for (const auto a : out) EXPECT_LT(a, n);
+
+  resample::systematic_resample<double>(w, uniforms[0], out, cumsum);
+  for (const auto a : out) EXPECT_LT(a, n);
+  // Uniform weights + systematic comb: every particle kept exactly once.
+  std::vector<std::uint32_t> sorted(out.begin(), out.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+
+  resample::stratified_resample<double>(
+      w, std::span<const double>(uniforms).first(n), out, cumsum);
+  for (const auto a : out) EXPECT_LT(a, n);
 }
 
 // --- ESS ---------------------------------------------------------------

@@ -121,6 +121,19 @@ TEST(Torus, PrimeDegeneratesToRing) {
   }
 }
 
+TEST(Torus, OneByTwoDegeneratesToSingleNeighbor) {
+  // n=2 factors as a 1x2 torus: the +1 and -1 column wraps land on the
+  // same node, and there is no row dimension, so exactly one neighbour
+  // remains (same as a 2-ring). Duplicated neighbours would double-count
+  // the exchange inflow and break validate()'s bound.
+  for (std::uint32_t id = 0; id < 2; ++id) {
+    const auto nb = neighbors(ExchangeScheme::kTorus2D, 2, id);
+    ASSERT_EQ(nb.size(), 1u);
+    EXPECT_EQ(nb[0], 1u - id);
+  }
+  EXPECT_EQ(max_degree(ExchangeScheme::kTorus2D, 2), 1u);
+}
+
 TEST(Torus, TwoByTwoMergesNeighbors) {
   // In a 2x2 torus, +1 and -1 wrap to the same node in both dimensions.
   for (std::uint32_t id = 0; id < 4; ++id) {
