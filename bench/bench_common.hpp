@@ -5,9 +5,15 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util/cli.hpp"
@@ -18,6 +24,9 @@
 #include "estimation/metrics.hpp"
 #include "models/robot_arm.hpp"
 #include "sim/ground_truth.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace esthera::bench {
 
@@ -147,5 +156,175 @@ inline void print_header(const char* figure, const char* description) {
             << description << "\n"
             << device::host_description() << "\n\n";
 }
+
+/// Machine-readable bench output + optional telemetry attachment.
+///
+/// Every bench harness owns one Report: it mirrors what the bench prints
+/// (tables and named scalars) and, when exporting was requested, owns the
+/// telemetry::Telemetry instance the filters record into. Flags:
+///   --json <path>          full machine-readable report (esthera.bench/1),
+///                          with the telemetry snapshot under "telemetry"
+///   --trace <path>         Chrome Trace Event JSON of every kernel launch
+///                          (load in chrome://tracing or ui.perfetto.dev)
+///   --series-jsonl <path>  per-step series as JSON Lines
+///   --series-csv <path>    per-step series as CSV
+///   --telemetry            attach telemetry without exporting (breakdowns
+///                          and counters still accumulate)
+/// Telemetry is attached when any flag above is present, or by default in
+/// -DESTHERA_TELEMETRY builds; telemetry() returns null otherwise, so the
+/// filters keep their zero-cost path.
+class Report {
+ public:
+  Report(const bench_util::Cli& cli, std::string name, std::string description)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        full_scale_(cli.full_scale()),
+        json_path_(cli.get("--json", "")),
+        trace_path_(cli.get("--trace", "")),
+        jsonl_path_(cli.get("--series-jsonl", "")),
+        csv_path_(cli.get("--series-csv", "")) {
+    if (telemetry::kTelemetryBuild || cli.has("--telemetry") ||
+        !json_path_.empty() || !trace_path_.empty() || !jsonl_path_.empty() ||
+        !csv_path_.empty()) {
+      telemetry_ = std::make_unique<telemetry::Telemetry>();
+    }
+  }
+
+  /// Prints the standard header for this report's figure.
+  void print_header() const {
+    bench::print_header(name_.c_str(), description_.c_str());
+  }
+
+  /// The sink the bench should hand to its filters (FilterConfig::telemetry
+  /// / CentralizedOptions::telemetry); null when no exporting was requested.
+  [[nodiscard]] telemetry::Telemetry* telemetry() { return telemetry_.get(); }
+
+  /// Records a named scalar result (update rate, RMSE, ...).
+  void add_value(std::string key, double value) {
+    values_.emplace_back(std::move(key), value);
+  }
+
+  /// Snapshots a printed table under `key` (copies headers and rows).
+  void add_table(std::string key, const bench_util::Table& table) {
+    tables_.push_back({std::move(key), table.headers(), table.rows()});
+  }
+
+  /// Writes every requested export. Returns the bench exit status: 0, or 1
+  /// when an output file could not be opened.
+  [[nodiscard]] int write() const {
+    int status = 0;
+    if (!json_path_.empty() && !write_json_file()) status = 1;
+    if (!trace_path_.empty()) {
+      std::ofstream os(trace_path_);
+      if (os && telemetry_) {
+        telemetry_->trace.write_chrome_trace(os);
+        std::cout << "trace: " << trace_path_ << '\n';
+      } else {
+        std::cerr << "error: cannot write trace to " << trace_path_ << '\n';
+        status = 1;
+      }
+    }
+    if (!jsonl_path_.empty() && telemetry_) {
+      std::ofstream os(jsonl_path_);
+      if (os) {
+        telemetry::write_series_jsonl(os, telemetry_->series);
+      } else {
+        std::cerr << "error: cannot write series to " << jsonl_path_ << '\n';
+        status = 1;
+      }
+    }
+    if (!csv_path_.empty() && telemetry_) {
+      std::ofstream os(csv_path_);
+      if (os) {
+        telemetry::write_series_csv(os, telemetry_->series);
+      } else {
+        std::cerr << "error: cannot write series to " << csv_path_ << '\n';
+        status = 1;
+      }
+    }
+    return status;
+  }
+
+ private:
+  struct TableCopy {
+    std::string key;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  /// Emits a table cell as a JSON number when it parses fully as one (the
+  /// common case: Table::num output), as a string otherwise (labels).
+  static void write_cell(telemetry::json::JsonWriter& w, const std::string& cell) {
+    if (!cell.empty()) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() + cell.size() && std::isfinite(v)) {
+        w.value(v);
+        return;
+      }
+    }
+    w.value(cell);
+  }
+
+  [[nodiscard]] bool write_json_file() const {
+    std::ofstream os(json_path_);
+    if (!os) {
+      std::cerr << "error: cannot write report to " << json_path_ << '\n';
+      return false;
+    }
+    telemetry::json::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "esthera.bench/1");
+    w.kv("name", name_);
+    w.kv("description", description_);
+    w.kv("host", device::host_description());
+    w.kv("full_scale", full_scale_);
+    w.key("values");
+    w.begin_object();
+    for (const auto& [key, value] : values_) w.kv(key, value);
+    w.end_object();
+    w.key("tables");
+    w.begin_object();
+    for (const TableCopy& t : tables_) {
+      w.key(t.key);
+      w.begin_object();
+      w.key("headers");
+      w.begin_array();
+      for (const auto& h : t.headers) w.value(h);
+      w.end_array();
+      w.key("rows");
+      w.begin_array();
+      for (const auto& row : t.rows) {
+        w.begin_array();
+        for (const auto& cell : row) write_cell(w, cell);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+    if (telemetry_) {
+      w.key("telemetry");
+      w.begin_object();
+      telemetry::write_snapshot_fields(w, *telemetry_);
+      w.end_object();
+    }
+    w.end_object();
+    os << '\n';
+    std::cout << "json: " << json_path_ << '\n';
+    return true;
+  }
+
+  std::string name_;
+  std::string description_;
+  bool full_scale_ = false;
+  std::string json_path_;
+  std::string trace_path_;
+  std::string jsonl_path_;
+  std::string csv_path_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+  std::vector<std::pair<std::string, double>> values_;
+  std::vector<TableCopy> tables_;
+};
 
 }  // namespace esthera::bench

@@ -20,9 +20,10 @@ int main(int argc, char** argv) {
   const std::size_t max_total =
       cli.get_size("--max-particles", full ? (1u << 20) : (1u << 18));
 
-  bench::print_header(
-      "Fig 3 (achieved update rate)",
+  bench::Report report(
+      cli, "Fig 3 (achieved update rate)",
       "Filter rounds per second on the 5-joint robot arm (9 state dims).");
+  report.print_header();
 
   std::vector<std::size_t> totals;
   for (std::size_t n = 1024; n <= max_total; n *= 4) totals.push_back(n);
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
         cfg.num_filters = n_filters;
         cfg.workers = preset.workers;
         if (n_filters == 1) cfg.scheme = topology::ExchangeScheme::kNone;
+        cfg.telemetry = report.telemetry();
         hz = bench::distributed_arm_hz(cfg, steps);
       }
       table.add_row({preset.name, bench_util::Table::num(total),
@@ -57,9 +59,10 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  report.add_table("update_rate", table);
   std::cout << "\nPaper shape to reproduce: update rate falls roughly linearly "
                "with total particles; wide-group presets (GPU-class) sustain "
                "higher rates at large populations than the sequential "
                "reference.\n";
-  return 0;
+  return report.write();
 }

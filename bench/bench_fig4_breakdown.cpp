@@ -15,8 +15,9 @@ namespace {
 using namespace esthera;
 
 void run_config(bench_util::Table& table, const std::string& label,
-                const core::FilterConfig& cfg, std::size_t joints,
-                std::size_t steps) {
+                core::FilterConfig cfg, std::size_t joints, std::size_t steps,
+                telemetry::Telemetry* tel) {
+  cfg.telemetry = tel;
   sim::RobotArmScenarioConfig scenario_cfg;
   scenario_cfg.arm.n_joints = joints;
   sim::RobotArmScenario scenario(scenario_cfg);
@@ -54,9 +55,10 @@ int main(int argc, char** argv) {
   const std::string scale = cli.get("--scale", "all");
   const std::size_t steps = cli.get_size("--steps", 20);
 
-  bench::print_header("Fig 4 (kernel runtime breakdown)",
-                      "Per-kernel share of filter runtime when scaling one "
-                      "parameter at a time (robot arm model).");
+  bench::Report report(cli, "Fig 4 (kernel runtime breakdown)",
+                       "Per-kernel share of filter runtime when scaling one "
+                       "parameter at a time (robot arm model).");
+  report.print_header();
 
   if (scale == "m" || scale == "all") {
     std::cout << "(a) scaling particles per sub-filter (N fixed at "
@@ -66,9 +68,11 @@ int main(int argc, char** argv) {
       core::FilterConfig cfg;
       cfg.particles_per_filter = m;
       cfg.num_filters = full ? 1024 : 256;
-      run_config(table, bench_util::Table::num(m), cfg, 5, steps);
+      run_config(table, bench_util::Table::num(m), cfg, 5, steps,
+                 report.telemetry());
     }
     table.print(std::cout);
+    report.add_table("scale_m", table);
     std::cout << '\n';
   }
 
@@ -79,9 +83,11 @@ int main(int argc, char** argv) {
       core::FilterConfig cfg;
       cfg.particles_per_filter = 512;
       cfg.num_filters = n;
-      run_config(table, bench_util::Table::num(n), cfg, 5, steps);
+      run_config(table, bench_util::Table::num(n), cfg, 5, steps,
+                 report.telemetry());
     }
     table.print(std::cout);
+    report.add_table("scale_n", table);
     std::cout << '\n';
   }
 
@@ -94,14 +100,16 @@ int main(int argc, char** argv) {
       core::FilterConfig cfg;
       cfg.particles_per_filter = 512;
       cfg.num_filters = full ? 1024 : 128;
-      run_config(table, bench_util::Table::num(dim), cfg, joints, steps);
+      run_config(table, bench_util::Table::num(dim), cfg, joints, steps,
+                 report.telemetry());
     }
     table.print(std::cout);
+    report.add_table("scale_dim", table);
     std::cout << '\n';
   }
 
   std::cout << "Paper shapes: (a) sort+resample dominate at large m; (b) local "
                "kernels dominate at large N; (c) sampling share grows with "
                "state dimension until the model dominates the runtime.\n";
-  return 0;
+  return report.write();
 }

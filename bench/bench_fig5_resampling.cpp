@@ -116,8 +116,9 @@ int main(int argc, char** argv) {
   const std::size_t max_n = cli.get_size("--max-particles", full ? (4u << 20) : (1u << 18));
   const std::size_t m = cli.get_size("--group-size", 512);
 
-  bench::print_header("Fig 5 (RWS vs Vose resampling runtime)",
-                      "Milliseconds per resampling round; lower is better.");
+  bench::Report report(cli, "Fig 5 (RWS vs Vose resampling runtime)",
+                       "Milliseconds per resampling round; lower is better.");
+  report.print_header();
 
   bench_util::Table table({"particles", "centralized RWS [ms]", "centralized Vose [ms]",
                            "local RWS [ms]", "local Vose [ms]",
@@ -133,6 +134,7 @@ int main(int argc, char** argv) {
                    bench_util::Table::num(vose_rounds_per_group(ws, n, m), 1)});
   }
   table.print(std::cout);
+  report.add_table("resampling_ms", table);
   const double rws_barriers = 3.0 * std::log2(static_cast<double>(m));
   std::cout << "\nPaper shape: centralized Vose beats centralized RWS with a gap "
                "widening in n (O(1) vs O(log n) per draw). On m=" << m
@@ -143,5 +145,5 @@ int main(int argc, char** argv) {
                "barrier at collapsing concurrency) rival RWS's fixed ~"
             << bench_util::Table::num(rws_barriers, 0)
             << " full-concurrency rounds.\n";
-  return 0;
+  return report.write();
 }

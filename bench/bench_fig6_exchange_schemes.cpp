@@ -16,9 +16,10 @@ int main(int argc, char** argv) {
   const auto proto = bench::Protocol::from_cli(cli);
   const std::size_t max_filters = cli.get_size("--max-filters", full ? 2048 : 512);
 
-  bench::print_header("Fig 6 (estimation error vs exchange scheme)",
-                      "RMSE of the object-position estimate on the robot arm; "
-                      "averaged over runs x steps.");
+  bench::Report report(cli, "Fig 6 (estimation error vs exchange scheme)",
+                       "RMSE of the object-position estimate on the robot arm; "
+                       "averaged over runs x steps.");
+  report.print_header();
   std::cout << "protocol: " << proto.runs << " runs x " << proto.steps
             << " steps (paper: 100 x 100)\n\n";
 
@@ -38,15 +39,17 @@ int main(int argc, char** argv) {
         cfg.num_filters = n;
         cfg.scheme = scheme;
         cfg.exchange_particles = 1;
+        cfg.telemetry = report.telemetry();
         row.push_back(bench_util::Table::num(bench::distributed_arm_error(cfg, proto), 4));
       }
       table.add_row(std::move(row));
     }
     table.print(std::cout);
+    report.add_table(std::string("rmse_") + topology::to_string(scheme), table);
     std::cout << '\n';
   }
   std::cout << "Paper shapes: All-to-All worst throughout; Ring/Torus errors "
                "shrink as sub-filters are added even at tiny m; Ring ahead in "
                "small networks, Torus ahead in large ones.\n";
-  return 0;
+  return report.write();
 }

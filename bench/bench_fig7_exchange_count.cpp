@@ -17,8 +17,9 @@ int main(int argc, char** argv) {
   const std::size_t max_filters = cli.get_size("--max-filters", full ? 2048 : 512);
   const std::size_t m = cli.get_size("--group-size", 16);
 
-  bench::print_header("Fig 7 (estimation error vs particles per exchange)",
-                      "RMSE of the object-position estimate, Ring topology.");
+  bench::Report report(cli, "Fig 7 (estimation error vs particles per exchange)",
+                       "RMSE of the object-position estimate, Ring topology.");
+  report.print_header();
   std::cout << "protocol: " << proto.runs << " runs x " << proto.steps
             << " steps; m = " << m << "\n\n";
 
@@ -37,12 +38,14 @@ int main(int argc, char** argv) {
       cfg.scheme = t == 0 ? topology::ExchangeScheme::kNone
                           : topology::ExchangeScheme::kRing;
       cfg.exchange_particles = t;
+      cfg.telemetry = report.telemetry();
       row.push_back(bench_util::Table::num(bench::distributed_arm_error(cfg, proto), 4));
     }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  report.add_table("rmse_vs_t", table);
   std::cout << "\nPaper shapes: the benefit of exchanging at all (t=0 vs t=1) "
                "is evident; beyond one particle the improvement is minor.\n";
-  return 0;
+  return report.write();
 }

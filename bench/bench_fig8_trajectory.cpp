@@ -17,7 +17,7 @@ struct Trace {
 };
 
 Trace run_filter(std::size_t m, std::size_t n_filters, std::size_t steps,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, telemetry::Telemetry* tel) {
   sim::RobotArmScenario scenario;
   scenario.reset(seed);
   core::FilterConfig cfg;
@@ -26,6 +26,7 @@ Trace run_filter(std::size_t m, std::size_t n_filters, std::size_t steps,
   cfg.scheme = n_filters > 1 ? topology::ExchangeScheme::kRing
                              : topology::ExchangeScheme::kNone;
   cfg.exchange_particles = n_filters > 1 ? 1 : 0;
+  cfg.telemetry = tel;
   core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
       scenario.make_model<float>(), cfg);
   const std::size_t j = scenario.config().arm.n_joints;
@@ -55,14 +56,16 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = cli.get_u64("--seed", 8);
   const std::string csv_path = cli.get("--csv", "fig8_trajectory.csv");
 
-  bench::print_header("Fig 8 (lemniscate ground truth with filter traces)",
-                      "High-particle filter converges onto the path; the tiny "
-                      "filter does not.");
+  bench::Report report(cli, "Fig 8 (lemniscate ground truth with filter traces)",
+                       "High-particle filter converges onto the path; the tiny "
+                       "filter does not.");
+  report.print_header();
 
   // Paper: high estimation 512x512 particles, low estimation 2x2.
   const bool full = cli.full_scale();
-  const Trace high = run_filter(full ? 512 : 64, full ? 512 : 64, steps, seed);
-  const Trace low = run_filter(2, 2, steps, seed);
+  const Trace high = run_filter(full ? 512 : 64, full ? 512 : 64, steps, seed,
+                                report.telemetry());
+  const Trace low = run_filter(2, 2, steps, seed, report.telemetry());
 
   // Ground truth replay for the CSV.
   sim::RobotArmScenario scenario;
@@ -83,8 +86,11 @@ int main(int argc, char** argv) {
                  bench_util::Table::num(high.rmse, 4)});
   table.add_row({"low estimation", "4", bench_util::Table::num(low.rmse, 4)});
   table.print(std::cout);
+  report.add_table("trajectory_rmse", table);
+  report.add_value("rmse_high", high.rmse);
+  report.add_value("rmse_low", low.rmse);
   std::cout << "\nTrace CSV written to " << csv_path
             << "\nPaper shape: the high-particle filter locks onto the "
                "lemniscate; the low-particle filter wanders.\n";
-  return 0;
+  return report.write();
 }

@@ -10,10 +10,10 @@
 int main(int argc, char** argv) {
   using namespace esthera;
   bench_util::Cli cli(argc, argv);
-  (void)cli;
-  bench::print_header("Table III (hardware platforms)",
-                      "Emulated platform presets standing in for the paper's "
-                      "CPU/GPGPU testbed.");
+  bench::Report report(cli, "Table III (hardware platforms)",
+                       "Emulated platform presets standing in for the paper's "
+                       "CPU/GPGPU testbed.");
+  report.print_header();
 
   bench_util::Table table({"preset", "models after", "workers", "max m", "default m"});
   for (const auto& p : device::platform_presets()) {
@@ -22,8 +22,9 @@ int main(int argc, char** argv) {
                    bench_util::Table::num(p.default_group_size)});
   }
   table.print(std::cout);
+  report.add_table("platforms", table);
   std::cout << "\nNote: worker counts emulate SM/CU parallelism; on hosts with "
                "fewer cores they time-share, preserving algorithmic behaviour "
                "but not absolute speed ratios.\n";
-  return 0;
+  return report.write();
 }

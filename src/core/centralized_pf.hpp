@@ -7,9 +7,11 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <span>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "core/particle_store.hpp"
 #include "core/stage_timers.hpp"
 #include "device/invariants.hpp"
+#include "estimation/diagnostics.hpp"
 #include "models/model.hpp"
 #include "prng/distributions.hpp"
 #include "prng/mt19937.hpp"
@@ -25,6 +28,7 @@
 #include "resample/systematic.hpp"
 #include "resample/vose.hpp"
 #include "sortnet/bitonic.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace esthera::core {
 
@@ -56,6 +60,13 @@ struct CentralizedOptions {
   /// the estimate, and every resampled index set, throwing
   /// debug::InvariantViolation on the first breach.
   bool check_invariants = debug::kCheckedBuild;
+
+  /// Observability sink (same semantics as FilterConfig::telemetry): null
+  /// disables every probe at the cost of one branch per site; when set,
+  /// the filter records per-stage latency histograms, one span per stage
+  /// per step, and per-step ESS / entropy / unique-parent series.
+  /// Borrowed pointer; must outlive the filter.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Sequential SIR particle filter over any SystemModel.
@@ -79,6 +90,15 @@ class CentralizedParticleFilter {
         noise_(std::max(model_.noise_dim(), model_.init_noise_dim())),
         estimate_(model_.state_dim(), T(0)) {
     assert(n_ > 0);
+    tel_ = opts_.telemetry;
+    if (tel_ != nullptr) {
+      for (const Stage s :
+           {Stage::kSampling, Stage::kGlobalEstimate, Stage::kResampling}) {
+        stage_hist_[static_cast<std::size_t>(s)] = &tel_->registry.histogram(
+            std::string("stage.") + StageTimers::key(s));
+      }
+      tel_->registry.gauge("filter.particles").set(static_cast<double>(n_));
+    }
     initialize();
   }
 
@@ -97,8 +117,11 @@ class CentralizedParticleFilter {
   /// One filtering round: sample / weigh / estimate / (conditionally)
   /// resample, consuming measurement `z` under control `u`.
   void step(std::span<const T> z, std::span<const T> u = {}) {
+    telemetry::TraceRecorder* trace = tel_ ? &tel_->trace : nullptr;
+    telemetry::ScopedSpan round(trace, "step", 0, 1, step_);
     {
-      ScopedStageTimer timer(timers_, Stage::kSampling);
+      telemetry::ScopedSpan span(trace, "sampling+weighting", 0, 1, step_);
+      auto timer = stage_timer(Stage::kSampling);
       if (opts_.move_steps > 0) {
         // Keep x_{k-1}: the move step proposes fresh transitions from the
         // predecessor of each resampled particle's parent.
@@ -126,16 +149,20 @@ class CentralizedParticleFilter {
       }
     }
     {
-      ScopedStageTimer timer(timers_, Stage::kGlobalEstimate);
+      telemetry::ScopedSpan span(trace, "global estimate", 0, 1, step_);
+      auto timer = stage_timer(Stage::kGlobalEstimate);
       update_estimate();
     }
+    bool resampled = false;
     {
-      ScopedStageTimer timer(timers_, Stage::kResampling);
-      const bool resampled = maybe_resample();
+      telemetry::ScopedSpan span(trace, "resampling", 0, 1, step_);
+      auto timer = stage_timer(Stage::kResampling);
+      resampled = maybe_resample();
       if (resampled && opts_.move_steps > 0) {
         apply_move_steps(z, u);
       }
     }
+    if (tel_ != nullptr) record_step_telemetry(resampled);
     ++step_;
   }
 
@@ -159,6 +186,35 @@ class CentralizedParticleFilter {
   [[nodiscard]] const ParticleStore<T>& particles() const { return cur_; }
 
  private:
+  /// Stage timer that also feeds the registry "stage.<key>" histogram when
+  /// telemetry is attached (the cached pointer is null otherwise).
+  [[nodiscard]] ScopedStageTimer stage_timer(Stage stage) {
+    return ScopedStageTimer(timers_, stage,
+                            stage_hist_[static_cast<std::size_t>(stage)]);
+  }
+
+  /// Per-step series + counters; called only when tel_ != nullptr, after
+  /// the resampling stage and before step_ advances. Purely passive: reads
+  /// the already-normalized weights_ and the resampled indices_.
+  void record_step_telemetry(bool resampled) {
+    auto& series = tel_->series;
+    series.record(step_, "ess", ess_);
+    series.record(step_, "entropy",
+                  estimation::weight_entropy<T>(std::span<const T>(weights_)));
+    double unique = 1.0;  // a skipped round keeps every particle's own parent
+    if (resampled) {
+      unique_scratch_.resize(n_);
+      unique = estimation::unique_parent_fraction(
+          std::span<const std::uint32_t>(indices_),
+          std::span<std::uint32_t>(unique_scratch_));
+    }
+    series.record(step_, "unique_parent", unique);
+    auto& reg = tel_->registry;
+    reg.counter("steps").add(1);
+    if (degenerate_) reg.counter("resample.degenerate").add(1);
+    if (!resampled) reg.counter("resample.skipped").add(1);
+  }
+
   /// Converts log-weights to max-normalized linear weights in `weights_`
   /// and returns the index of the best particle. Sets `degenerate_` when
   /// no particle carries a finite log-weight (weights_ is then uniform).
@@ -307,6 +363,9 @@ class CentralizedParticleFilter {
   resample::AliasTable<T> alias_;
   std::vector<T> prev_;  // x_{k-1} copy for the resample-move step
   StageTimers timers_;
+  telemetry::Telemetry* tel_ = nullptr;
+  std::array<telemetry::LatencyHistogram*, kStageCount> stage_hist_{};
+  std::vector<std::uint32_t> unique_scratch_;
   double ess_ = 0.0;
   bool degenerate_ = false;
   std::size_t step_ = 0;

@@ -14,6 +14,10 @@
 #include "resample/ess.hpp"
 #include "topology/topology.hpp"
 
+namespace esthera::telemetry {
+struct Telemetry;
+}
+
 namespace esthera::core {
 
 /// Which resampling algorithm a (sub-)filter runs (paper Sec. IV/VI-F).
@@ -65,6 +69,15 @@ struct FilterConfig {
   /// builds compiled with -DESTHERA_CHECKED (CMake option ESTHERA_CHECKED);
   /// off otherwise, where every check site reduces to a branch-on-null.
   bool check_invariants = debug::kCheckedBuild;
+
+  /// Observability sink (esthera::telemetry). Null (the default) disables
+  /// every probe at the cost of one branch per site; when set, the filter
+  /// records per-launch stage histograms ("stage.<key>"), one trace span
+  /// per kernel launch, and per-step ESS / unique-parent / entropy /
+  /// exchange-volume / RNG-high-water / pool series into the instance.
+  /// Recording is passive: estimates are bit-identical either way. The
+  /// pointer is borrowed; the Telemetry must outlive the filter.
+  telemetry::Telemetry* telemetry = nullptr;
 
   [[nodiscard]] std::size_t total_particles() const {
     return particles_per_filter * num_filters;

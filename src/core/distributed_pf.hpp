@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -31,6 +32,7 @@
 #include "core/stage_timers.hpp"
 #include "device/device.hpp"
 #include "device/invariants.hpp"
+#include "estimation/diagnostics.hpp"
 #include "models/model.hpp"
 #include "prng/mtgp_stream.hpp"
 #include "resample/ess.hpp"
@@ -39,6 +41,7 @@
 #include "resample/vose.hpp"
 #include "sortnet/bitonic.hpp"
 #include "sortnet/scan.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace esthera::core {
 
@@ -109,6 +112,16 @@ class DistributedParticleFilter {
     return n_filters_ ? unique_sum_ / static_cast<double>(n_filters_) : 0.0;
   }
 
+  /// Per-group ESS of the last resampling round (0 for degenerate groups).
+  [[nodiscard]] std::span<const double> group_ess() const { return group_ess_; }
+
+  /// Per-group unique-parent fraction of the last resampling round (1.0
+  /// for groups that skipped resampling -- every particle kept its own
+  /// ancestor).
+  [[nodiscard]] std::span<const double> group_unique_parent_fraction() const {
+    return group_unique_;
+  }
+
   /// Re-draws the initial particle population from the model's prior.
   void initialize() {
     stream_.fill(dev_->pool(), rand_);
@@ -130,6 +143,10 @@ class DistributedParticleFilter {
     estimate_lw_ = T(0);
     timers_.reset();
     std::fill(resampled_flags_.begin(), resampled_flags_.end(), std::uint8_t{0});
+    std::fill(group_ess_.begin(), group_ess_.end(), 0.0);
+    std::fill(group_unique_.begin(), group_unique_.end(), 1.0);
+    std::fill(group_entropy_.begin(), group_entropy_.end(), 0.0);
+    std::fill(group_degenerate_.begin(), group_degenerate_.end(), std::uint8_t{0});
     // Estimate before the first measurement: particle 0's state (all
     // particles are prior draws; there is no weight information yet).
     const auto s = cur_.state(0);
@@ -143,12 +160,18 @@ class DistributedParticleFilter {
 
   /// One filtering round (Algorithm 2) on measurement `z`, control `u`.
   void step(std::span<const T> z, std::span<const T> u = {}) {
-    run_rand();
-    run_sampling(z, u);
-    run_local_sort();
-    run_global_estimate();
-    run_exchange();
-    run_resampling();
+    {
+      // Round-level span: every kernel span of this step nests inside it.
+      telemetry::ScopedSpan round(tel_ ? &tel_->trace : nullptr, "step", 0,
+                                  n_filters_, step_);
+      run_rand();
+      run_sampling(z, u);
+      run_local_sort();
+      run_global_estimate();
+      run_exchange();
+      run_resampling();
+    }
+    if (tel_) record_step_telemetry();
     ++step_;
   }
 
@@ -198,22 +221,64 @@ class DistributedParticleFilter {
     pool_top_.resize(cfg_.exchange_particles);
     pool_order_.resize(box);
     resampled_flags_.assign(n_filters_, 0);
+    group_ess_.assign(n_filters_, 0.0);
+    group_unique_.assign(n_filters_, 1.0);
+    group_entropy_.assign(n_filters_, 0.0);
+    group_degenerate_.assign(n_filters_, 0);
+    // Exchange volume is a topology constant: particles written per round
+    // when the exchange stage runs at all.
+    if (cfg_.scheme == topology::ExchangeScheme::kNone ||
+        cfg_.exchange_particles == 0 || n_filters_ < 2) {
+      exchange_volume_ = 0;
+    } else if (topology::is_pooled(cfg_.scheme)) {
+      exchange_volume_ = n_filters_ * cfg_.exchange_particles;
+    } else {
+      exchange_volume_ = 0;
+      for (const auto& nb : neighbors_) {
+        exchange_volume_ += nb.size() * cfg_.exchange_particles;
+      }
+    }
     if (cfg_.check_invariants) {
       checker_ = std::make_unique<debug::InvariantChecker>(n_filters_, m_, npg, upg);
       checked_dev_ = std::make_unique<debug::CheckedDevice>(*dev_);
+    }
+    tel_ = cfg_.telemetry;
+    if (tel_) {
+      // Resolve every registry metric once; per-step probes then touch
+      // cached pointers only.
+      for (std::size_t s = 0; s < kStageCount; ++s) {
+        stage_hist_[s] = &tel_->registry.histogram(
+            std::string("stage.") + StageTimers::key(static_cast<Stage>(s)));
+      }
+      tel_->registry.gauge("filter.num_filters").set(static_cast<double>(n_filters_));
+      tel_->registry.gauge("filter.particles_per_filter")
+          .set(static_cast<double>(m_));
+      tel_->registry.gauge("rng.normals_budget").set(static_cast<double>(npg));
+      tel_->registry.gauge("rng.uniforms_budget").set(static_cast<double>(upg));
     }
     initialize();
   }
 
   /// Routes a kernel launch through the CheckedDevice when invariant
-  /// checking is on (verifying exactly-once group coverage per launch).
+  /// checking is on (verifying exactly-once group coverage per launch) and
+  /// records one trace span per launch when telemetry is attached; the two
+  /// layers compose.
   template <typename Kernel>
   void launch(const char* name, Kernel&& kernel) {
+    telemetry::ScopedSpan span(tel_ ? &tel_->trace : nullptr, name, 0,
+                               n_filters_, step_);
     if (checked_dev_) {
       checked_dev_->launch(name, n_filters_, kernel);
     } else {
       dev_->launch(n_filters_, kernel);
     }
+  }
+
+  /// Stage timer that mirrors its sample into the telemetry registry's
+  /// "stage.<key>" histogram when telemetry is attached.
+  [[nodiscard]] ScopedStageTimer stage_timer(Stage stage) {
+    return ScopedStageTimer(timers_, stage,
+                            stage_hist_[static_cast<std::size_t>(stage)]);
   }
 
   void build_neighbor_lists() {
@@ -225,15 +290,21 @@ class DistributedParticleFilter {
   }
 
   void run_rand() {
-    ScopedStageTimer timer(timers_, Stage::kRand);
-    stream_.fill(dev_->pool(), rand_);
+    auto timer = stage_timer(Stage::kRand);
+    {
+      // The PRNG fill goes straight to the pool rather than through
+      // launch(); give it its own kernel span.
+      telemetry::ScopedSpan span(tel_ ? &tel_->trace : nullptr, "prng", 0,
+                                 n_filters_, step_);
+      stream_.fill(dev_->pool(), rand_);
+    }
     if (checker_) {
       checker_->check_prng_buffers<T>(rand_.normals, rand_.uniforms);
     }
   }
 
   void run_sampling(std::span<const T> z, std::span<const T> u) {
-    ScopedStageTimer timer(timers_, Stage::kSampling);
+    auto timer = stage_timer(Stage::kSampling);
     const std::size_t nd = model_.noise_dim();
     launch("sampling+weighting", [&](std::size_t g) {
       const auto normals = rand_.group_normals(g);
@@ -256,7 +327,7 @@ class DistributedParticleFilter {
   }
 
   void run_local_sort() {
-    ScopedStageTimer timer(timers_, Stage::kLocalSort);
+    auto timer = stage_timer(Stage::kLocalSort);
     launch("local sort", [&](std::size_t g) {
       const std::size_t base = g * m_;
       auto keys = std::span<T>(sort_keys_).subspan(base, m_);
@@ -286,7 +357,7 @@ class DistributedParticleFilter {
   }
 
   void run_global_estimate() {
-    ScopedStageTimer timer(timers_, Stage::kGlobalEstimate);
+    auto timer = stage_timer(Stage::kGlobalEstimate);
     if (cfg_.estimator == EstimatorKind::kMaxWeight) {
       launch("global estimate", [&](std::size_t g) {
         local_best_lw_[g] = cur_.log_weights()[g * m_];  // sorted: best first
@@ -367,7 +438,7 @@ class DistributedParticleFilter {
     if (cfg_.scheme == topology::ExchangeScheme::kNone || t == 0 || n_filters_ < 2) {
       return;
     }
-    ScopedStageTimer timer(timers_, Stage::kExchange);
+    auto timer = stage_timer(Stage::kExchange);
     // Phase A: every sub-filter publishes its top-t (sorted: the first t).
     launch("exchange", [&](std::size_t g) {
       const std::size_t base = g * m_;
@@ -446,14 +517,14 @@ class DistributedParticleFilter {
   }
 
   void run_resampling() {
-    ScopedStageTimer timer(timers_, Stage::kResampling);
-    std::vector<double> group_ess(n_filters_);
-    std::vector<double> group_unique(n_filters_, 1.0);
+    auto timer = stage_timer(Stage::kResampling);
     launch("resampling", [&](std::size_t g) {
       const std::size_t base = g * m_;
       const auto lw = cur_.log_weights(base, m_);
       auto w = std::span<T>(weights_).subspan(base, m_);
       resampled_flags_[g] = 0;
+      group_degenerate_[g] = 0;
+      group_unique_[g] = 1.0;
       // Exchange may have placed a heavier particle at the tail: the
       // normalization recomputes the local maximum rather than trusting
       // the sorted head. It also sanitizes: non-finite log-weights weigh
@@ -461,6 +532,12 @@ class DistributedParticleFilter {
       // underflowed, or NaN leaked in) reports itself degenerate - feeding
       // its NaN weights to RWS/Vose/systematic would yield garbage indices.
       const bool has_weight_info = resample::normalize_from_log<T>(lw, w);
+      if (tel_) {
+        // Passive read of the freshly normalized weights; log(m) for a
+        // degenerate (uniform-fallback) group.
+        group_entropy_[g] =
+            estimation::weight_entropy<T>(std::span<const T>(w));
+      }
       if (!has_weight_info) {
         // Uniform-ancestor fallback: keep every particle exactly once and
         // restart the group with uniform weights. Deterministic, preserves
@@ -473,14 +550,15 @@ class DistributedParticleFilter {
                   aux_.state_block(base, m_).begin());
         auto lw_out = aux_.log_weights(base, m_);
         for (std::size_t p = 0; p < m_; ++p) lw_out[p] = T(0);
-        group_ess[g] = 0.0;
+        group_ess_[g] = 0.0;
+        group_degenerate_[g] = 1;
         resampled_flags_[g] = 1;
         if (cfg_.roughening_k > 0.0) apply_roughening(g);
         return;
       }
       const double ess =
           static_cast<double>(resample::effective_sample_size<T>(w));
-      group_ess[g] = ess;
+      group_ess_[g] = ess;
       const auto uniforms = rand_.group_uniforms(g);
       const double coin = static_cast<double>(uniforms[2 * m_]);
       if (!resample::should_resample(cfg_.policy, ess / static_cast<double>(m_),
@@ -519,14 +597,11 @@ class DistributedParticleFilter {
       }
       sortnet::gather_rows<T, std::uint32_t>(cur_.state_block(base, m_),
                                              aux_.state_block(base, m_), out, dim_);
-      // Diversity diagnostic: distinct parents / m. Reuse the per-group
-      // sort-index scratch to count distinct values without allocating.
-      auto scratch = std::span<std::uint32_t>(sort_idx_).subspan(base, m_);
-      std::copy(out.begin(), out.end(), scratch.begin());
-      std::sort(scratch.begin(), scratch.end());
-      const auto distinct = std::unique(scratch.begin(), scratch.end());
-      group_unique[g] =
-          static_cast<double>(distinct - scratch.begin()) / static_cast<double>(m_);
+      // Diversity diagnostic: distinct parents / m, via the shared
+      // estimation helper. The per-group sort-index slice is the scratch,
+      // so the kernel stays allocation-free.
+      group_unique_[g] = estimation::unique_parent_fraction(
+          out, std::span<std::uint32_t>(sort_idx_).subspan(base, m_));
       auto lw_out = aux_.log_weights(base, m_);
       for (std::size_t p = 0; p < m_; ++p) lw_out[p] = T(0);
       if (cfg_.roughening_k > 0.0) apply_roughening(g);
@@ -546,9 +621,66 @@ class DistributedParticleFilter {
       }
     }
     ess_sum_ = 0.0;
-    for (const double e : group_ess) ess_sum_ += e;
+    for (const double e : group_ess_) ess_sum_ += e;
     unique_sum_ = 0.0;
-    for (const double u : group_unique) unique_sum_ += u;
+    for (const double u : group_unique_) unique_sum_ += u;
+  }
+
+  /// Host-side, once per step() when telemetry is attached: flushes the
+  /// per-group diagnostics the kernels just computed into the registry and
+  /// the per-step series. Purely observational -- reads filter state only.
+  void record_step_telemetry() {
+    auto& reg = tel_->registry;
+    auto& series = tel_->series;
+    std::size_t degenerate = 0;
+    std::size_t skipped = 0;
+    double entropy_sum = 0.0;
+    for (std::size_t g = 0; g < n_filters_; ++g) {
+      series.record_group(step_, "ess", g, group_ess_[g]);
+      series.record_group(step_, "unique_parent", g, group_unique_[g]);
+      series.record_group(step_, "entropy", g, group_entropy_[g]);
+      degenerate += group_degenerate_[g];
+      skipped += resampled_flags_[g] ? 0 : 1;
+      entropy_sum += group_entropy_[g];
+    }
+    series.record(step_, "ess.mean", mean_ess());
+    series.record(step_, "unique_parent.mean", mean_unique_parent_fraction());
+    series.record(step_, "entropy.mean",
+                  n_filters_ ? entropy_sum / static_cast<double>(n_filters_) : 0.0);
+    series.record(step_, "exchange.volume",
+                  static_cast<double>(exchange_volume_));
+    series.record(step_, "resample.degenerate_groups",
+                  static_cast<double>(degenerate));
+    series.record(step_, "resample.skipped_groups",
+                  static_cast<double>(skipped));
+    reg.counter("steps").add(1);
+    reg.counter("exchange.particles").add(exchange_volume_);
+    reg.counter("resample.degenerate_groups").add(degenerate);
+    reg.counter("resample.skipped_groups").add(skipped);
+    // RNG-budget high-water marks: exact consumption extents from the
+    // invariant checker when it is on, else the sized per-round extents
+    // the kernels are known to consume.
+    std::size_t normals_used = m_ * model_.noise_dim();
+    if (cfg_.roughening_k > 0.0) normals_used = roughening_offset_ + m_ * dim_;
+    std::size_t uniforms_used = 2 * m_ + 1;
+    if (checker_) {
+      normals_used = checker_->normals_high_water();
+      uniforms_used = checker_->uniforms_high_water();
+    }
+    reg.gauge("rng.normals_high_water")
+        .update_max(static_cast<double>(normals_used));
+    reg.gauge("rng.uniforms_high_water")
+        .update_max(static_cast<double>(uniforms_used));
+    const auto pool_stats = dev_->pool().stats();
+    reg.gauge("pool.jobs_executed")
+        .set(static_cast<double>(pool_stats.jobs_executed));
+    reg.gauge("pool.indices_executed")
+        .set(static_cast<double>(pool_stats.indices_executed));
+    reg.gauge("pool.max_queue_depth")
+        .set(static_cast<double>(pool_stats.max_queue_depth));
+    reg.gauge("device.launches").set(static_cast<double>(dev_->launch_count()));
+    series.record(step_, "pool.jobs_executed",
+                  static_cast<double>(pool_stats.jobs_executed));
   }
 
   /// Gordon roughening of group g's freshly resampled population (in aux_):
@@ -612,6 +744,13 @@ class DistributedParticleFilter {
   std::unique_ptr<debug::CheckedDevice> checked_dev_;
   T estimate_lw_ = T(0);
   StageTimers timers_;
+  telemetry::Telemetry* tel_ = nullptr;
+  std::array<telemetry::LatencyHistogram*, kStageCount> stage_hist_{};
+  std::vector<double> group_ess_;
+  std::vector<double> group_unique_;
+  std::vector<double> group_entropy_;
+  std::vector<std::uint8_t> group_degenerate_;
+  std::size_t exchange_volume_ = 0;
   double ess_sum_ = 0.0;
   double unique_sum_ = 0.0;
   std::size_t step_ = 0;

@@ -6,7 +6,7 @@ namespace esthera::core {
 
 double StageTimers::total() const {
   double t = 0.0;
-  for (const double s : seconds_) t += s;
+  for (const auto& h : histograms_) t += h.sum();
   return t;
 }
 
@@ -27,14 +27,28 @@ const char* StageTimers::name(Stage stage) {
   return "?";
 }
 
+const char* StageTimers::key(Stage stage) {
+  switch (stage) {
+    case Stage::kRand: return "rand";
+    case Stage::kSampling: return "sampling";
+    case Stage::kLocalSort: return "local_sort";
+    case Stage::kGlobalEstimate: return "global_estimate";
+    case Stage::kExchange: return "exchange";
+    case Stage::kResampling: return "resampling";
+  }
+  return "?";
+}
+
 std::string StageTimers::breakdown_string() const {
+  if (total() <= 0.0) return "(no samples)";
   std::ostringstream os;
   os.precision(1);
   os << std::fixed;
   for (std::size_t s = 0; s < kStageCount; ++s) {
     if (s > 0) os << " | ";
     const auto stage = static_cast<Stage>(s);
-    os << name(stage) << " " << 100.0 * fraction(stage) << "%";
+    os << name(stage) << " " << 100.0 * fraction(stage) << "% ("
+       << launches(stage) << "x)";
   }
   return os.str();
 }

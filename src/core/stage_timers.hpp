@@ -2,12 +2,21 @@
 // Fig 4. The six stages are exactly the six computational kernels of
 // Sec. VI: PRNG, sampling+weighting, local sort, global estimate, particle
 // exchange, and resampling.
+//
+// Accounting is per launch, not sum-only: each add() records one sample
+// into a fixed-bucket telemetry::LatencyHistogram per stage, so seconds()
+// and fraction() (views over the histograms) come with launch counts and
+// p50/p95/p99 for free. fraction() and breakdown_string() are well-defined
+// on a fresh or reset() timer (total() == 0): every fraction is 0 and the
+// breakdown says so instead of printing six baseless 0.0% bars.
 #pragma once
 
 #include <array>
 #include <chrono>
 #include <cstddef>
 #include <string>
+
+#include "telemetry/histogram.hpp"
 
 namespace esthera::core {
 
@@ -22,42 +31,73 @@ enum class Stage : std::size_t {
 
 inline constexpr std::size_t kStageCount = 6;
 
-/// Accumulated wall-clock seconds per stage.
+/// Per-stage launch latency histograms (wall-clock seconds).
 class StageTimers {
  public:
+  /// Records one launch of `stage` taking `seconds`.
   void add(Stage stage, double seconds) {
-    seconds_[static_cast<std::size_t>(stage)] += seconds;
+    histograms_[static_cast<std::size_t>(stage)].record(seconds);
   }
 
+  /// Total wall-clock seconds spent in `stage` across all launches.
   [[nodiscard]] double seconds(Stage stage) const {
-    return seconds_[static_cast<std::size_t>(stage)];
+    return histograms_[static_cast<std::size_t>(stage)].sum();
+  }
+
+  /// Number of launches recorded for `stage` (the sample size behind
+  /// every fraction/percentile of that stage).
+  [[nodiscard]] std::size_t launches(Stage stage) const {
+    return static_cast<std::size_t>(
+        histograms_[static_cast<std::size_t>(stage)].count());
+  }
+
+  /// Full per-launch latency distribution of `stage`.
+  [[nodiscard]] const telemetry::LatencyHistogram& histogram(Stage stage) const {
+    return histograms_[static_cast<std::size_t>(stage)];
   }
 
   [[nodiscard]] double total() const;
 
-  /// Fraction of the total spent in `stage` (0 when nothing recorded).
+  /// Fraction of the total spent in `stage`. Well-defined for an empty or
+  /// reset timer: 0 when total() == 0.
   [[nodiscard]] double fraction(Stage stage) const;
 
-  void reset() { seconds_.fill(0.0); }
+  void reset() {
+    for (auto& h : histograms_) h.reset();
+  }
 
   [[nodiscard]] static const char* name(Stage stage);
 
-  /// "rand 12.3% | sampling 20.1% | ..." -- one line per Fig 4 bar.
+  /// Machine-friendly stage key ("local_sort" instead of "local sort"),
+  /// used for the registry histogram names "stage.<key>".
+  [[nodiscard]] static const char* key(Stage stage);
+
+  /// "rand 12.3% (20x) | sampling 20.1% (20x) | ..." -- one line per Fig 4
+  /// bar, each share tagged with its launch count so a fraction is never
+  /// reported without its sample size. "(no samples)" when total() == 0.
   [[nodiscard]] std::string breakdown_string() const;
 
  private:
-  std::array<double, kStageCount> seconds_{};
+  std::array<telemetry::LatencyHistogram, kStageCount> histograms_{};
 };
 
-/// RAII timer adding its scope's duration to a stage.
+/// RAII timer adding its scope's duration to a stage; optionally mirrors
+/// the sample into a registry histogram (the filters pass their cached
+/// "stage.<key>" histogram when telemetry is attached, nullptr otherwise).
 class ScopedStageTimer {
  public:
-  ScopedStageTimer(StageTimers& timers, Stage stage)
-      : timers_(timers), stage_(stage), start_(std::chrono::steady_clock::now()) {}
+  ScopedStageTimer(StageTimers& timers, Stage stage,
+                   telemetry::LatencyHistogram* mirror = nullptr)
+      : timers_(timers),
+        stage_(stage),
+        mirror_(mirror),
+        start_(std::chrono::steady_clock::now()) {}
 
   ~ScopedStageTimer() {
     const auto end = std::chrono::steady_clock::now();
-    timers_.add(stage_, std::chrono::duration<double>(end - start_).count());
+    const double seconds = std::chrono::duration<double>(end - start_).count();
+    timers_.add(stage_, seconds);
+    if (mirror_) mirror_->record(seconds);
   }
 
   ScopedStageTimer(const ScopedStageTimer&) = delete;
@@ -66,6 +106,7 @@ class ScopedStageTimer {
  private:
   StageTimers& timers_;
   Stage stage_;
+  telemetry::LatencyHistogram* mirror_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -7,7 +7,9 @@
 // SMs/CUs. Kernel boundaries are global barriers, as on the real device.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 
 #include "mcore/thread_pool.hpp"
@@ -31,12 +33,27 @@ class Device {
   /// Returns after all groups completed (kernel-boundary barrier).
   template <typename Kernel>
   void launch(std::size_t num_groups, Kernel&& kernel) {
+    launches_.fetch_add(1, std::memory_order_relaxed);
+    groups_launched_.fetch_add(num_groups, std::memory_order_relaxed);
     pool_.run(num_groups,
               [&](std::size_t g, std::size_t /*worker*/) { kernel(g); });
   }
 
+  /// Lifetime kernel-launch count (telemetry; relaxed, exact only between
+  /// launches). Several filters may share one device.
+  [[nodiscard]] std::uint64_t launch_count() const noexcept {
+    return launches_.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime sum of launched work groups across all launches.
+  [[nodiscard]] std::uint64_t groups_launched() const noexcept {
+    return groups_launched_.load(std::memory_order_relaxed);
+  }
+
  private:
   mcore::ThreadPool pool_;
+  std::atomic<std::uint64_t> launches_{0};
+  std::atomic<std::uint64_t> groups_launched_{0};
 };
 
 }  // namespace esthera::device

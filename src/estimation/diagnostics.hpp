@@ -4,6 +4,8 @@
 // time-to-convergence detector used by the experiment harnesses.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -34,6 +36,21 @@ inline double unique_parent_fraction(std::span<const std::uint32_t> parents) {
   if (parents.empty()) return 0.0;
   std::unordered_set<std::uint32_t> seen(parents.begin(), parents.end());
   return static_cast<double>(seen.size()) / static_cast<double>(parents.size());
+}
+
+/// Allocation-free overload for device kernels: counts distinct parents by
+/// sorting a copy of `parents` in caller-provided `scratch` (at least
+/// parents.size() elements; contents clobbered). Same result as the
+/// set-based overload.
+inline double unique_parent_fraction(std::span<const std::uint32_t> parents,
+                                     std::span<std::uint32_t> scratch) {
+  if (parents.empty()) return 0.0;
+  assert(scratch.size() >= parents.size());
+  const auto s = scratch.first(parents.size());
+  std::copy(parents.begin(), parents.end(), s.begin());
+  std::sort(s.begin(), s.end());
+  const auto distinct = std::unique(s.begin(), s.end()) - s.begin();
+  return static_cast<double>(distinct) / static_cast<double>(parents.size());
 }
 
 /// Declares convergence once the per-step error stays below `threshold`

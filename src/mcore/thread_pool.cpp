@@ -62,6 +62,12 @@ void ThreadPool::run(std::size_t n,
                      std::size_t chunk) {
   if (n == 0) return;
   if (chunk == 0) chunk = 1;
+  jobs_executed_.fetch_add(1, std::memory_order_relaxed);
+  indices_executed_.fetch_add(n, std::memory_order_relaxed);
+  std::uint64_t depth = max_queue_depth_.load(std::memory_order_relaxed);
+  while (n > depth && !max_queue_depth_.compare_exchange_weak(
+                          depth, n, std::memory_order_relaxed)) {
+  }
   if (threads_.empty()) {
     for (std::size_t i = 0; i < n; ++i) fn(i, 0);
     return;

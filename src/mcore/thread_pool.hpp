@@ -48,6 +48,24 @@ class ThreadPool {
   void run(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
            std::size_t chunk = 1);
 
+  /// Dispatch statistics for telemetry: how many bulk jobs ran, the total
+  /// index count they covered, and the queue-depth high-water mark (the
+  /// largest single job's index count -- the pool runs one job at a time,
+  /// so this is the deepest the group queue ever was at dispatch).
+  struct Stats {
+    std::uint64_t jobs_executed = 0;
+    std::uint64_t indices_executed = 0;
+    std::uint64_t max_queue_depth = 0;
+  };
+
+  /// Snapshot of the lifetime dispatch statistics (relaxed reads; exact
+  /// between run() calls).
+  [[nodiscard]] Stats stats() const noexcept {
+    return {jobs_executed_.load(std::memory_order_relaxed),
+            indices_executed_.load(std::memory_order_relaxed),
+            max_queue_depth_.load(std::memory_order_relaxed)};
+  }
+
   /// Upper bound accepted from ESTHERA_WORKERS; larger requests (or any
   /// malformed value) fall back to hardware_concurrency().
   static constexpr long kMaxWorkers = 1024;
@@ -80,6 +98,9 @@ class ThreadPool {
   std::shared_ptr<Job> job_;   // guarded by mutex_
   std::uint64_t epoch_ = 0;    // bumped per job; guarded by mutex_
   bool stop_ = false;          // guarded by mutex_
+  std::atomic<std::uint64_t> jobs_executed_{0};
+  std::atomic<std::uint64_t> indices_executed_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
 };
 
 /// Invokes `fn(i)` for every i in [begin, end) using `pool`.

@@ -1,0 +1,113 @@
+// Fixed-bucket latency histogram: the per-launch accounting unit of
+// esthera::telemetry. Buckets are geometric (ratio sqrt(2)) from 1 us
+// upward, so two adjacent buckets never differ by more than ~41% -- tight
+// enough for p50/p95/p99 reporting, small enough (64 buckets) to live
+// inline in every StageTimers and MetricsRegistry entry with no per-record
+// allocation. count/sum/min/max are exact; quantiles interpolate within
+// the resolved bucket and are clamped to [min, max].
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace esthera::telemetry {
+
+/// Histogram of durations in seconds. Single-writer: recorded host-side
+/// between kernel launches (like StageTimers), read at export time.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBucketCount = 64;
+  /// Lower edge of bucket 1; bucket 0 absorbs everything at or below it.
+  static constexpr double kMinSeconds = 1e-6;
+
+  void record(double seconds) {
+    if (!(seconds >= 0.0)) seconds = 0.0;  // NaN/negative guard
+    if (count_ == 0) {
+      min_ = max_ = seconds;
+    } else {
+      min_ = std::min(min_, seconds);
+      max_ = std::max(max_, seconds);
+    }
+    ++count_;
+    sum_ += seconds;
+    ++buckets_[bucket_index(seconds)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// q-quantile (q in [0, 1]) from the bucket counts; 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the sample we are after (1-based, ceil(q * count)).
+    const auto target = static_cast<std::uint64_t>(
+        std::max<double>(1.0, std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      if (buckets_[b] == 0) continue;
+      if (cum + buckets_[b] >= target) {
+        // Linear interpolation inside the bucket by rank position.
+        const double lo = bucket_lower_bound(b);
+        const double hi = bucket_upper_bound(b);
+        const double within = static_cast<double>(target - cum) /
+                              static_cast<double>(buckets_[b]);
+        return std::clamp(lo + (hi - lo) * within, min_, max_);
+      }
+      cum += buckets_[b];
+    }
+    return max_;  // unreachable for consistent counts
+  }
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b];
+  }
+
+  /// Bucket edges: bucket 0 is [0, kMin]; bucket b >= 1 is
+  /// (kMin * r^(b-1), kMin * r^b] with r = sqrt(2).
+  [[nodiscard]] static double bucket_lower_bound(std::size_t b) {
+    return b == 0 ? 0.0 : kMinSeconds * std::exp2(static_cast<double>(b - 1) * 0.5);
+  }
+  [[nodiscard]] static double bucket_upper_bound(std::size_t b) {
+    return b == 0 ? kMinSeconds
+                  : kMinSeconds * std::exp2(static_cast<double>(b) * 0.5);
+  }
+
+  void reset() {
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    buckets_.fill(0);
+  }
+
+ private:
+  [[nodiscard]] static std::size_t bucket_index(double seconds) {
+    if (seconds <= kMinSeconds) return 0;
+    // log_{sqrt(2)}(s / kMin) = 2 * log2(s / kMin); bucket b covers
+    // (kMin * r^(b-1), kMin * r^b], so ceil() lands on the right edge.
+    const double idx = std::ceil(2.0 * std::log2(seconds / kMinSeconds));
+    const auto b = static_cast<std::size_t>(std::max(1.0, idx));
+    return std::min(b, kBucketCount - 1);
+  }
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+};
+
+}  // namespace esthera::telemetry

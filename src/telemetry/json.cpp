@@ -1,0 +1,286 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace esthera::telemetry::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::pre_value() {
+  if (stack_.empty()) return;
+  Frame& f = stack_.back();
+  if (f.is_object && f.after_key) {
+    f.after_key = false;
+    return;  // value follows its key; key() already wrote the separator
+  }
+  if (f.needs_comma) os_ << ',';
+  f.needs_comma = true;
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  os_ << '{';
+  stack_.push_back({false, true, false});
+}
+
+void JsonWriter::end_object() {
+  stack_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  os_ << '[';
+  stack_.push_back({false, false, false});
+}
+
+void JsonWriter::end_array() {
+  stack_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  Frame& f = stack_.back();
+  if (f.needs_comma) os_ << ',';
+  f.needs_comma = true;
+  f.after_key = true;
+  os_ << '"' << escape(k) << "\":";
+}
+
+void JsonWriter::value(std::string_view v) {
+  pre_value();
+  os_ << '"' << escape(v) << '"';
+}
+
+void JsonWriter::value(double v) {
+  pre_value();
+  os_ << number(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  pre_value();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  pre_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  pre_value();
+  os_ << "null";
+}
+
+// ---------------------------------------------------------------------------
+// Validator: recursive descent over one JSON value.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  bool fail(const std::string& what) {
+    error = what + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return fail("bad literal");
+    pos += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char");
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return fail("truncated escape");
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (pos >= text.size() || !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return fail("expected digit");
+    }
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    return true;
+  }
+
+  bool num() {
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    // JSON forbids leading zeros: the integer part is "0" or [1-9][0-9]*.
+    if (pos + 1 < text.size() && text[pos] == '0' &&
+        std::isdigit(static_cast<unsigned char>(text[pos + 1]))) {
+      return fail("leading zero");
+    }
+    if (!digits()) return false;
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end");
+    bool ok = false;
+    switch (text[pos]) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = num(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    ++pos;  // '{'
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
+      ++pos;
+      if (!value()) return false;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos;  // '['
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool validate(std::string_view text, std::string* error) {
+  Parser p{text};
+  if (!p.value()) {
+    if (error) *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error) *error = "trailing content at offset " + std::to_string(p.pos);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace esthera::telemetry::json

@@ -1,0 +1,67 @@
+// Minimal JSON emission and validation for the telemetry sinks. No
+// external dependency: the writer tracks comma/nesting state on a small
+// stack, the validator is a recursive-descent checker used by the tests
+// and the CI smoke job to assert every exported artifact parses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esthera::telemetry::json {
+
+/// JSON-escapes `s` (quotes, backslashes, control characters).
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Formats a double as a JSON number; non-finite values become null.
+[[nodiscard]] std::string number(double v);
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///   JsonWriter w(os);
+///   w.begin_object(); w.key("a"); w.value(1.0); w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool v);
+  void null();
+
+  /// key + value in one call.
+  template <typename V>
+  void kv(std::string_view k, V v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void pre_value();
+
+  std::ostream& os_;
+  // One frame per open container: whether a separator is needed before the
+  // next element, and whether the frame is an object (values follow keys).
+  struct Frame {
+    bool needs_comma = false;
+    bool is_object = false;
+    bool after_key = false;
+  };
+  std::vector<Frame> stack_;
+};
+
+/// True when `text` is one complete, well-formed JSON value. On failure,
+/// `error` (when non-null) receives a short description with an offset.
+[[nodiscard]] bool validate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace esthera::telemetry::json

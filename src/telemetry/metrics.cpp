@@ -1,0 +1,117 @@
+#include "telemetry/metrics.hpp"
+
+#include <ostream>
+
+#include "telemetry/json.hpp"
+
+namespace esthera::telemetry {
+
+namespace {
+
+template <typename Map, typename Value>
+Value& get_or_create(std::mutex& mutex, Map& map, std::string_view name) {
+  std::lock_guard lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<Value>()).first;
+  }
+  return *it->second;
+}
+
+template <typename Map>
+std::vector<std::string> names_of(std::mutex& mutex, const Map& map) {
+  std::lock_guard lock(mutex);
+  std::vector<std::string> out;
+  out.reserve(map.size());
+  for (const auto& [name, _] : map) out.push_back(name);
+  return out;
+}
+
+template <typename Map>
+auto find_in(std::mutex& mutex, const Map& map, std::string_view name)
+    -> decltype(map.begin()->second.get()) {
+  std::lock_guard lock(mutex);
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+void write_histogram(json::JsonWriter& w, const LatencyHistogram& h) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("sum", h.sum());
+  w.kv("min", h.min());
+  w.kv("max", h.max());
+  w.kv("mean", h.mean());
+  w.kv("p50", h.p50());
+  w.kv("p95", h.p95());
+  w.kv("p99", h.p99());
+  w.end_object();
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create<decltype(counters_), Counter>(mutex_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create<decltype(gauges_), Gauge>(mutex_, gauges_, name);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create<decltype(histograms_), LatencyHistogram>(mutex_,
+                                                                histograms_, name);
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  return names_of(mutex_, counters_);
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  return names_of(mutex_, gauges_);
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  return names_of(mutex_, histograms_);
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_in(mutex_, counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_in(mutex_, gauges_, name);
+}
+
+const LatencyHistogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  return find_in(mutex_, histograms_, name);
+}
+
+void MetricsRegistry::write_json_fields(json::JsonWriter& w) const {
+  std::lock_guard lock(mutex_);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g->value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    write_histogram(w, *h);
+  }
+  w.end_object();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  json::JsonWriter w(os);
+  w.begin_object();
+  write_json_fields(w);
+  w.end_object();
+}
+
+}  // namespace esthera::telemetry

@@ -1,0 +1,75 @@
+#include "telemetry/sinks.hpp"
+
+#include <ostream>
+
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace esthera::telemetry {
+
+void write_series_jsonl(std::ostream& os, const StepSeries& series) {
+  series.for_each([&](const std::string& name,
+                      const std::vector<SeriesPoint>& pts) {
+    for (const SeriesPoint& p : pts) {
+      json::JsonWriter w(os);
+      w.begin_object();
+      w.kv("series", name);
+      w.kv("step", p.step);
+      if (p.group != StepSeries::kNoGroup) w.kv("group", p.group);
+      w.kv("value", p.value);
+      w.end_object();
+      os << '\n';
+    }
+  });
+}
+
+void write_series_csv(std::ostream& os, const StepSeries& series) {
+  os << "series,step,group,value\n";
+  series.for_each([&](const std::string& name,
+                      const std::vector<SeriesPoint>& pts) {
+    for (const SeriesPoint& p : pts) {
+      os << name << ',' << p.step << ',';
+      if (p.group != StepSeries::kNoGroup) os << p.group;
+      os << ',' << json::number(p.value) << '\n';
+    }
+  });
+}
+
+void write_snapshot_json(std::ostream& os, const Telemetry& telemetry) {
+  json::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "esthera.telemetry.snapshot/1");
+  write_snapshot_fields(w, telemetry);
+  w.end_object();
+}
+
+void write_snapshot_fields(json::JsonWriter& w, const Telemetry& telemetry) {
+  telemetry.registry.write_json_fields(w);
+  w.key("series");
+  w.begin_object();
+  telemetry.series.for_each([&](const std::string& name,
+                                const std::vector<SeriesPoint>& pts) {
+    const bool grouped =
+        !pts.empty() && pts.front().group != StepSeries::kNoGroup;
+    w.key(name);
+    w.begin_object();
+    w.key("steps");
+    w.begin_array();
+    for (const SeriesPoint& p : pts) w.value(p.step);
+    w.end_array();
+    if (grouped) {
+      w.key("groups");
+      w.begin_array();
+      for (const SeriesPoint& p : pts) w.value(p.group);
+      w.end_array();
+    }
+    w.key("values");
+    w.begin_array();
+    for (const SeriesPoint& p : pts) w.value(p.value);
+    w.end_array();
+    w.end_object();
+  });
+  w.end_object();
+}
+
+}  // namespace esthera::telemetry

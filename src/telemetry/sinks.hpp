@@ -1,0 +1,41 @@
+// Telemetry sinks: JSONL and CSV writers for StepSeries, plus the one-shot
+// JSON snapshot combining the metrics registry and every recorded series
+// (the record the bench harness embeds under "telemetry" in its --json
+// output). All exports are deterministic: series in name order, points in
+// recording order, metric maps in key order.
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/series.hpp"
+
+namespace esthera::telemetry {
+
+struct Telemetry;
+
+namespace json {
+class JsonWriter;
+}
+
+/// One JSON object per line:
+///   {"series":"ess","step":3,"group":7,"value":12.5}
+/// Population-level scalars omit the "group" key.
+void write_series_jsonl(std::ostream& os, const StepSeries& series);
+
+/// CSV with header `series,step,group,value`; scalar points leave the
+/// group column empty.
+void write_series_csv(std::ostream& os, const StepSeries& series);
+
+/// One-shot snapshot:
+///   {"schema":"esthera.telemetry.snapshot/1",
+///    "counters":{...},"gauges":{...},"histograms":{...},
+///    "series":{"ess":{"steps":[...],"groups":[...],"values":[...]},...}}
+/// Scalar series omit the "groups" array.
+void write_snapshot_json(std::ostream& os, const Telemetry& telemetry);
+
+/// Writes the snapshot's fields ("counters" .. "series") into an object the
+/// caller has already opened -- how the bench harness embeds the snapshot
+/// under its "telemetry" key without re-serializing.
+void write_snapshot_fields(json::JsonWriter& w, const Telemetry& telemetry);
+
+}  // namespace esthera::telemetry

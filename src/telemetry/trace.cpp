@@ -1,0 +1,69 @@
+#include "telemetry/trace.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "telemetry/json.hpp"
+
+namespace esthera::telemetry {
+
+void TraceRecorder::record(std::string name, Clock::time_point start,
+                           Clock::time_point end, std::size_t group_begin,
+                           std::size_t group_end, std::uint64_t step,
+                           std::uint32_t track) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.ts_us = std::chrono::duration<double, std::micro>(start - epoch_).count();
+  span.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  span.group_begin = group_begin;
+  span.group_end = group_end;
+  span.step = step;
+  span.track = track;
+  std::lock_guard lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  const auto spans = this->spans();
+  json::JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& s : spans) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("cat", "kernel");
+    w.kv("ph", "X");
+    w.kv("pid", std::uint64_t{0});
+    w.kv("tid", std::uint64_t{s.track});
+    w.kv("ts", s.ts_us);
+    w.kv("dur", s.dur_us);
+    w.key("args");
+    w.begin_object();
+    w.kv("step", s.step);
+    w.kv("group_begin", std::uint64_t{s.group_begin});
+    w.kv("group_end", std::uint64_t{s.group_end});
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+}
+
+}  // namespace esthera::telemetry

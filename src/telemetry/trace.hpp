@@ -1,0 +1,94 @@
+// TraceRecorder: captures every device kernel launch (and each filter
+// round) as a timed span and exports Chrome Trace Event JSON, loadable in
+// chrome://tracing and Perfetto (ui.perfetto.dev). Spans carry the stage
+// name, the launched group range, and the filter step, so a trace shows
+// the paper's six-kernel barrier structure directly on a timeline.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace esthera::telemetry {
+
+/// One completed span on the host timeline.
+struct TraceSpan {
+  std::string name;          ///< kernel / stage name ("sampling+weighting", ...)
+  double ts_us = 0.0;        ///< start, microseconds since recorder epoch
+  double dur_us = 0.0;       ///< duration, microseconds
+  std::uint64_t step = 0;    ///< filter round the launch belongs to
+  std::size_t group_begin = 0;  ///< launched work-group range [begin, end)
+  std::size_t group_end = 0;
+  std::uint32_t track = 0;   ///< Chrome "tid": one track per filter/device
+};
+
+/// Collects spans (thread-safe append) and serializes them. The epoch is
+/// fixed at construction so spans from multiple filters sharing one
+/// recorder land on a common timeline.
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TraceRecorder() : epoch_(Clock::now()) {}
+
+  void record(std::string name, Clock::time_point start, Clock::time_point end,
+              std::size_t group_begin, std::size_t group_end,
+              std::uint64_t step, std::uint32_t track = 0);
+
+  [[nodiscard]] std::size_t span_count() const;
+  /// Snapshot copy of the recorded spans (safe against concurrent record()).
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+
+  /// Chrome Trace Event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}
+  /// with one complete ("ph":"X") event per span.
+  void write_chrome_trace(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;  // guarded by mutex_
+};
+
+/// RAII span: records [construction, destruction) into `recorder`; a null
+/// recorder makes the whole object a no-op (the telemetry-off fast path --
+/// no clock read, no lock).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, const char* name, std::size_t group_begin,
+             std::size_t group_end, std::uint64_t step, std::uint32_t track = 0)
+      : recorder_(recorder),
+        name_(name),
+        group_begin_(group_begin),
+        group_end_(group_end),
+        step_(step),
+        track_(track) {
+    if (recorder_) start_ = TraceRecorder::Clock::now();
+  }
+
+  ~ScopedSpan() {
+    if (recorder_) {
+      recorder_->record(name_, start_, TraceRecorder::Clock::now(), group_begin_,
+                        group_end_, step_, track_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  std::size_t group_begin_;
+  std::size_t group_end_;
+  std::uint64_t step_;
+  std::uint32_t track_;
+  TraceRecorder::Clock::time_point start_{};
+};
+
+}  // namespace esthera::telemetry
