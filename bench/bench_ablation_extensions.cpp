@@ -161,7 +161,8 @@ void move_table(const bench::Protocol& proto) {
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv, bench::plain_flags(bench::protocol_flags()));
   const auto proto = bench::Protocol::from_cli(cli);
 
   bench::print_header("Extension ablations",

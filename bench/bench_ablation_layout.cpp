@@ -92,7 +92,8 @@ double soa_particles_per_sec(std::size_t count, std::size_t joints,
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv, bench::plain_flags({"--particles"}));
   const bool full = cli.full_scale();
   const std::size_t count = cli.get_size("--particles", full ? (1u << 20) : (1u << 18));
 

@@ -53,7 +53,8 @@ PolicyResult run_policy(const resample::ResamplePolicy& policy, std::size_t m,
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv, bench::plain_flags(bench::protocol_flags()));
   const auto proto = bench::Protocol::from_cli(cli);
 
   bench::print_header("Sec. IV ablation (resampling policy)",

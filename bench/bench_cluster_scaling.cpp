@@ -11,7 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv,
+      bench::plain_flags(bench::protocol_flags({"--max-nodes", "--m", "--filters"})));
   const auto proto = bench::Protocol::from_cli(cli);
   const std::size_t max_nodes = cli.get_size("--max-nodes", 4);
 

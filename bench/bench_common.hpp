@@ -20,15 +20,44 @@
 #include "bench_util/table.hpp"
 #include "core/centralized_pf.hpp"
 #include "core/distributed_pf.hpp"
+#include "device/invariants.hpp"
 #include "device/platform.hpp"
 #include "estimation/metrics.hpp"
+#include "mcore/thread_pool.hpp"
 #include "models/robot_arm.hpp"
 #include "sim/ground_truth.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
+#include "version.hpp"
 
 namespace esthera::bench {
+
+/// Flags every Report-owning bench accepts: the export flags documented
+/// on Report plus --full. Pass bench-specific extras to get the complete
+/// accepted-flag list for Cli::parse_or_exit.
+inline std::vector<std::string> standard_flags(std::vector<std::string> extras = {}) {
+  std::vector<std::string> flags = {"--full",         "--json",
+                                    "--trace",        "--series-jsonl",
+                                    "--series-csv",   "--telemetry"};
+  flags.insert(flags.end(), extras.begin(), extras.end());
+  return flags;
+}
+
+/// The flags Protocol::from_cli reads, plus bench-specific extras; nest
+/// inside standard_flags or plain_flags to build the full accepted list.
+inline std::vector<std::string> protocol_flags(std::vector<std::string> extras = {}) {
+  std::vector<std::string> flags = {"--runs", "--steps", "--seed", "--warmup"};
+  flags.insert(flags.end(), extras.begin(), extras.end());
+  return flags;
+}
+
+/// Flags for benches without a Report: just --full plus extras.
+inline std::vector<std::string> plain_flags(std::vector<std::string> extras = {}) {
+  std::vector<std::string> flags = {"--full"};
+  flags.insert(flags.end(), extras.begin(), extras.end());
+  return flags;
+}
 
 /// Protocol parameters for accuracy experiments.
 struct Protocol {
@@ -46,6 +75,13 @@ struct Protocol {
     p.runs = cli.get_size("--runs", p.runs);
     p.steps = cli.get_size("--steps", p.steps);
     p.seed = cli.get_u64("--seed", p.seed);
+    p.warmup = cli.get_size("--warmup", p.warmup);
+    if (p.warmup >= p.steps) {
+      std::cerr << "error: --warmup (" << p.warmup
+                << ") must be smaller than --steps (" << p.steps
+                << "); no steps would enter the error average\n";
+      std::exit(2);
+    }
     return p;
   }
 };
@@ -279,6 +315,22 @@ class Report {
     w.kv("description", description_);
     w.kv("host", device::host_description());
     w.kv("full_scale", full_scale_);
+    // Build stamp: lets bench_compare refuse apples-to-oranges diffs (a
+    // debug report against a release baseline, say) instead of reporting
+    // them as regressions.
+    w.key("build");
+    w.begin_object();
+    w.kv("version", kVersionString);
+#ifdef NDEBUG
+    w.kv("build_type", "release");
+#else
+    w.kv("build_type", "debug");
+#endif
+    w.kv("checked", debug::kCheckedBuild);
+    w.kv("telemetry_build", telemetry::kTelemetryBuild);
+    w.kv("workers",
+         static_cast<std::uint64_t>(mcore::ThreadPool::default_worker_count()));
+    w.end_object();
     w.key("values");
     w.begin_object();
     for (const auto& [key, value] : values_) w.kv(key, value);

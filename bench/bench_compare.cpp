@@ -1,0 +1,50 @@
+// Diff two esthera.bench/1 JSON reports and gate on regressions: exact
+// comparison for the machine-independent work counters and stage
+// invocation counts, a relative noise threshold for scalar results, and
+// a hard refusal when the build stamps disagree (debug vs release runs
+// are not comparable). Exit status: 0 clean, 1 regression, 2 fatal.
+//
+// Usage:
+//   bench_compare --baseline BENCH_BASELINE.json --current BENCH_PR.json \
+//       [--scalar-tol 0.10] [--counter-tol 0] [--allow-build-mismatch] \
+//       [--markdown summary.md]
+#include <fstream>
+#include <iostream>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/compare.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esthera;
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv,
+      {"--baseline", "--current", "--scalar-tol", "--counter-tol",
+       "--allow-build-mismatch", "--markdown"});
+  const std::string baseline = cli.get("--baseline", "");
+  const std::string current = cli.get("--current", "");
+  if (baseline.empty() || current.empty()) {
+    std::cerr << "usage: bench_compare --baseline <report.json> --current "
+                 "<report.json> [--scalar-tol r] [--counter-tol r] "
+                 "[--allow-build-mismatch] [--markdown <out.md>]\n";
+    return 2;
+  }
+
+  bench_util::compare::CompareOptions opts;
+  opts.scalar_rel_tol = cli.get_double("--scalar-tol", opts.scalar_rel_tol);
+  opts.counter_rel_tol = cli.get_double("--counter-tol", opts.counter_rel_tol);
+  opts.allow_build_mismatch = cli.has("--allow-build-mismatch");
+
+  const auto result = bench_util::compare::compare_files(baseline, current, opts);
+  bench_util::compare::write_markdown(std::cout, result, baseline, current);
+
+  const std::string md_path = cli.get("--markdown", "");
+  if (!md_path.empty()) {
+    std::ofstream os(md_path);
+    if (!os) {
+      std::cerr << "error: cannot write markdown to " << md_path << '\n';
+      return 2;
+    }
+    bench_util::compare::write_markdown(os, result, baseline, current);
+  }
+  return result.exit_status();
+}

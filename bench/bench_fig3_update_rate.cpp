@@ -15,7 +15,8 @@
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv, bench::standard_flags({"--max-particles", "--steps"}));
   const bool full = cli.full_scale();
   const std::size_t max_total =
       cli.get_size("--max-particles", full ? (1u << 20) : (1u << 18));

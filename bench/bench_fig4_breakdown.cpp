@@ -50,7 +50,8 @@ bench_util::Table make_table(const std::string& dim_label) {
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv, bench::standard_flags({"--scale", "--steps"}));
   const bool full = cli.full_scale();
   const std::string scale = cli.get("--scale", "all");
   const std::size_t steps = cli.get_size("--steps", 20);

@@ -111,7 +111,8 @@ double local_ms(Workspace& ws, std::size_t n, std::size_t m, bool vose,
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv, bench::standard_flags({"--max-particles", "--group-size"}));
   const bool full = cli.full_scale();
   const std::size_t max_n = cli.get_size("--max-particles", full ? (4u << 20) : (1u << 18));
   const std::size_t m = cli.get_size("--group-size", 512);

@@ -11,7 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv,
+      bench::standard_flags(bench::protocol_flags({"--max-filters", "--group-size"})));
   const bool full = cli.full_scale();
   const auto proto = bench::Protocol::from_cli(cli);
   const std::size_t max_filters = cli.get_size("--max-filters", full ? 2048 : 512);

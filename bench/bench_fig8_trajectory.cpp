@@ -51,7 +51,8 @@ Trace run_filter(std::size_t m, std::size_t n_filters, std::size_t steps,
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv, bench::standard_flags({"--steps", "--seed", "--csv"}));
   const std::size_t steps = cli.get_size("--steps", cli.full_scale() ? 400 : 200);
   const std::uint64_t seed = cli.get_u64("--seed", 8);
   const std::string csv_path = cli.get("--csv", "fig8_trajectory.csv");

@@ -47,7 +47,8 @@ std::pair<double, double> run_precision(const core::FilterConfig& cfg,
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv, bench::plain_flags(bench::protocol_flags()));
   const auto proto = bench::Protocol::from_cli(cli);
 
   bench::print_header("Sec. VI ablation (float vs double precision)",

@@ -1,0 +1,102 @@
+// Perf-regression gate workload: a reduced-scale, pinned-seed run of both
+// filter architectures that emits an esthera.bench/1 report containing
+// only machine-independent quantities - estimation RMSE (deterministic up
+// to libm) and the deterministic work counters (lockstep phases, barriers,
+// compare-exchanges, scan sweeps, RNG draws). No wall-clock scalar enters
+// the report, so bench_compare can gate it exactly across machines; the
+// stage histograms still carry latencies, but only their invocation
+// counts are compared. CI runs this per PR and diffs the output against
+// the checked-in BENCH_BASELINE.json.
+#include <cstddef>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace esthera;
+
+/// Reduced-scale protocol: small enough for a CI minute, long enough to
+/// exercise resampling, exchange, and the degenerate-weight paths.
+bench::Protocol gate_protocol() {
+  bench::Protocol proto;
+  proto.runs = 2;
+  proto.steps = 30;
+  proto.warmup = 5;
+  proto.seed = 7;
+  return proto;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = bench_util::Cli::parse_or_exit(argc, argv,
+                                                  bench::standard_flags());
+  bench::Report report(
+      cli, "Perf regression gate",
+      "Reduced-scale pinned-seed workload; every gated quantity is "
+      "machine-independent (work counters) or deterministic up to libm "
+      "(RMSE). Compare runs with bench_compare.");
+  report.print_header();
+
+  const auto proto = gate_protocol();
+  bench_util::Table table({"configuration", "RMSE"});
+
+  // Distributed filter, RWS resampling (the paper's configuration).
+  core::FilterConfig rws_cfg;
+  rws_cfg.particles_per_filter = 64;
+  rws_cfg.num_filters = 64;
+  rws_cfg.seed = 11;
+  rws_cfg.telemetry = report.telemetry();
+  const double rmse_rws = bench::distributed_arm_error(rws_cfg, proto);
+  report.add_value("rmse_distributed_rws", rmse_rws);
+  table.add_row({"distributed m=64 N=64 RWS", bench_util::Table::num(rmse_rws, 4)});
+
+  // Systematic resampling exercises the other scan-consuming path.
+  core::FilterConfig sys_cfg = rws_cfg;
+  sys_cfg.resample = core::ResampleAlgorithm::kSystematic;
+  const double rmse_sys = bench::distributed_arm_error(sys_cfg, proto);
+  report.add_value("rmse_distributed_systematic", rmse_sys);
+  table.add_row(
+      {"distributed m=64 N=64 systematic", bench_util::Table::num(rmse_sys, 4)});
+
+  // Centralized double-precision reference with telemetry attached so its
+  // work.rng_draws / work.scan_sweeps land in the same registry.
+  {
+    estimation::ErrorAccumulator err;
+    sim::RobotArmScenario scenario;
+    const std::size_t j = sim::RobotArmScenarioConfig{}.arm.n_joints;
+    for (std::size_t r = 0; r < proto.runs; ++r) {
+      scenario.reset(proto.seed + r);
+      core::CentralizedOptions opts;
+      opts.seed = 1000 + r * 7919;
+      opts.telemetry = report.telemetry();
+      core::CentralizedParticleFilter<models::RobotArmModel<double>> pf(
+          scenario.make_model<double>(), 256, opts);
+      for (std::size_t k = 0; k < proto.steps; ++k) {
+        const auto step = scenario.advance();
+        pf.step(step.z, step.u);
+        if (k >= proto.warmup) {
+          const double ex = pf.estimate()[j + 0] - step.truth[j + 0];
+          const double ey = pf.estimate()[j + 1] - step.truth[j + 1];
+          err.add_step(std::vector<double>{ex, ey});
+        }
+      }
+    }
+    const double rmse_central = err.rmse();
+    report.add_value("rmse_centralized_vose", rmse_central);
+    table.add_row(
+        {"centralized n=256 Vose", bench_util::Table::num(rmse_central, 4)});
+  }
+
+  table.print(std::cout);
+  report.add_table("gate", table);
+  std::cout << '\n';
+
+  if (report.telemetry() == nullptr) {
+    std::cerr << "warning: no telemetry attached (pass --json or --telemetry); "
+                 "the report will carry no work counters\n";
+  }
+  return report.write();
+}

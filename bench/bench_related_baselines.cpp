@@ -53,7 +53,8 @@ Result run_generic(Filter& pf, sim::RobotArmScenario& scenario,
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv, bench::plain_flags(bench::protocol_flags({"--m", "--filters"})));
   const auto proto = bench::Protocol::from_cli(cli);
   const std::size_t m = cli.get_size("--m", 32);
   const std::size_t n_filters = cli.get_size("--filters", 64);

@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace esthera;
-  bench_util::Cli cli(argc, argv);
+  const auto cli = bench_util::Cli::parse_or_exit(argc, argv, bench::standard_flags());
   bench::Report report(cli, "Table III (hardware platforms)",
                        "Emulated platform presets standing in for the paper's "
                        "CPU/GPGPU testbed.");

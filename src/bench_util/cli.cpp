@@ -1,9 +1,25 @@
 #include "bench_util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <stdexcept>
 
 namespace esthera::bench_util {
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& program, const std::string& what,
+                              std::vector<std::string> accepted) {
+  std::cerr << (program.empty() ? "bench" : program) << ": " << what << '\n';
+  std::sort(accepted.begin(), accepted.end());
+  std::cerr << "accepted flags:";
+  for (const auto& f : accepted) std::cerr << ' ' << f;
+  std::cerr << '\n';
+  std::exit(2);
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
@@ -27,6 +43,21 @@ Cli::Cli(int argc, char** argv) {
       }
     }
     options_.push_back(std::move(opt));
+  }
+}
+
+Cli Cli::parse_or_exit(int argc, char** argv, std::vector<std::string> accepted) {
+  const std::string program = argc > 0 ? argv[0] : "";
+  try {
+    Cli cli(argc, argv);
+    for (const auto& o : cli.options_) {
+      if (std::find(accepted.begin(), accepted.end(), o.name) == accepted.end()) {
+        usage_error(program, "unknown flag '" + o.name + "'", std::move(accepted));
+      }
+    }
+    return cli;
+  } catch (const std::invalid_argument& e) {
+    usage_error(program, e.what(), std::move(accepted));
   }
 }
 

@@ -13,7 +13,18 @@ namespace esthera::bench_util {
 
 class Cli {
  public:
+  /// Permissive constructor: accepts any `--flag` / `--flag value` /
+  /// `--flag=value` mix. Throws std::invalid_argument on positional
+  /// arguments. Prefer parse_or_exit in bench mains so a typo'd flag
+  /// fails loudly instead of silently running with defaults.
   Cli(int argc, char** argv);
+
+  /// Parses argv and rejects any flag not in `accepted`: prints the
+  /// offending flag plus the sorted accepted-flag list to stderr and
+  /// exits with status 2. Positional arguments get the same treatment
+  /// instead of an exception.
+  [[nodiscard]] static Cli parse_or_exit(int argc, char** argv,
+                                         std::vector<std::string> accepted);
 
   /// True when `--name` was passed (as a bare flag or with a value).
   [[nodiscard]] bool has(const std::string& name) const;

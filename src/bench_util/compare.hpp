@@ -1,0 +1,87 @@
+// Report comparison for the bench regression pipeline: diffs two
+// esthera.bench/1 JSON reports (BENCH_BASELINE.json vs a fresh run) and
+// classifies every numeric difference against configurable noise
+// thresholds. Deterministic quantities - the work.* counters, step and
+// resample counters, stage-histogram invocation counts - are gated
+// exactly; scalar results (RMSE-like values, numeric table cells) get a
+// relative tolerance to absorb libm/platform noise. Wall-clock latencies
+// inside histograms are never gated: they are machine-dependent by
+// nature, which is exactly why the work counters exist.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace esthera::bench_util::compare {
+
+/// Noise thresholds and strictness knobs for one comparison.
+struct CompareOptions {
+  /// Relative tolerance for scalar results ("values" entries and numeric
+  /// table cells). Deterministic up to libm differences across hosts.
+  double scalar_rel_tol = 0.10;
+  /// Relative tolerance for telemetry counters. The work counters are
+  /// machine-independent by construction, so the default is exact.
+  double counter_rel_tol = 0.0;
+  /// Accept reports whose build stamps disagree (build type, checked /
+  /// telemetry flags, full_scale). Off by default: comparing a debug run
+  /// against a release baseline produces meaningless deltas.
+  bool allow_build_mismatch = false;
+};
+
+/// One compared numeric quantity.
+struct Delta {
+  std::string path;  ///< e.g. "values.rmse_m512", "counters.work.rng_draws"
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel = 0.0;  ///< |current - baseline| / max(|baseline|, tiny)
+  double tol = 0.0;
+  bool regression = false;  ///< rel exceeded tol
+};
+
+/// Full result of one report comparison.
+struct Result {
+  bool fatal = false;        ///< schema/name/build mismatch; deltas unusable
+  std::string fatal_reason;  ///< set when fatal
+  std::vector<Delta> deltas;
+  /// Structural differences that always gate: missing metrics, table
+  /// shape changes, non-numeric cells that changed.
+  std::vector<std::string> mismatches;
+  /// Informational only (new metrics, host difference, worker counts).
+  std::vector<std::string> notes;
+
+  [[nodiscard]] bool has_regression() const {
+    if (!mismatches.empty()) return true;
+    for (const Delta& d : deltas) {
+      if (d.regression) return true;
+    }
+    return false;
+  }
+
+  /// Bench-compare process exit status: 0 clean, 1 regression, 2 fatal.
+  [[nodiscard]] int exit_status() const {
+    if (fatal) return 2;
+    return has_regression() ? 1 : 0;
+  }
+};
+
+/// Compares two parsed esthera.bench/1 reports.
+[[nodiscard]] Result compare_reports(const telemetry::json::Value& baseline,
+                                     const telemetry::json::Value& current,
+                                     const CompareOptions& opts = {});
+
+/// Parses both files and compares; IO/parse failures come back fatal.
+[[nodiscard]] Result compare_files(const std::string& baseline_path,
+                                   const std::string& current_path,
+                                   const CompareOptions& opts = {});
+
+/// Renders the result as a markdown summary (suitable for
+/// GITHUB_STEP_SUMMARY): verdict, regression table, notes.
+void write_markdown(std::ostream& os, const Result& result,
+                    std::string_view baseline_label,
+                    std::string_view current_label);
+
+}  // namespace esthera::bench_util::compare

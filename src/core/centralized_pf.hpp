@@ -21,6 +21,7 @@
 #include "device/invariants.hpp"
 #include "estimation/diagnostics.hpp"
 #include "models/model.hpp"
+#include "monitor/monitor.hpp"
 #include "prng/distributions.hpp"
 #include "prng/mt19937.hpp"
 #include "resample/ess.hpp"
@@ -67,6 +68,13 @@ struct CentralizedOptions {
   /// per step, and per-step ESS / entropy / unique-parent series.
   /// Borrowed pointer; must outlive the filter.
   telemetry::Telemetry* telemetry = nullptr;
+
+  /// Runtime health monitor (same semantics as FilterConfig::monitor):
+  /// when set, the filter feeds its per-step ESS fraction, unique-parent
+  /// fraction, normalized weight entropy, and non-finite-weight count into
+  /// the monitor's detectors. Passive; estimates are bit-identical either
+  /// way. Borrowed pointer; must outlive the filter.
+  monitor::HealthMonitor* monitor = nullptr;
 };
 
 /// Sequential SIR particle filter over any SystemModel.
@@ -91,6 +99,7 @@ class CentralizedParticleFilter {
         estimate_(model_.state_dim(), T(0)) {
     assert(n_ > 0);
     tel_ = opts_.telemetry;
+    mon_ = opts_.monitor;
     if (tel_ != nullptr) {
       for (const Stage s :
            {Stage::kSampling, Stage::kGlobalEstimate, Stage::kResampling}) {
@@ -98,6 +107,10 @@ class CentralizedParticleFilter {
             std::string("stage.") + StageTimers::key(s));
       }
       tel_->registry.gauge("filter.particles").set(static_cast<double>(n_));
+      // Deterministic work counters (the sequential filter has no barriers
+      // or sort network; RNG draws and scan sweeps are its cost proxies).
+      cnt_rng_ = &tel_->registry.counter("work.rng_draws");
+      cnt_scan_ = &tel_->registry.counter("work.scan_sweeps");
     }
     initialize();
   }
@@ -128,10 +141,12 @@ class CentralizedParticleFilter {
         prev_.assign(cur_.raw_state().begin(), cur_.raw_state().end());
       }
       prng::NormalSource<T, prng::Mt19937> normal(rng_);
+      std::uint64_t draws = 0;
       for (std::size_t i = 0; i < n_; ++i) {
         T loglik = T(0);
         for (std::size_t redraw = 0;; ++redraw) {
           for (std::size_t d = 0; d < model_.noise_dim(); ++d) noise_[d] = normal();
+          draws += model_.noise_dim();
           model_.sample_transition(cur_.state(i), aux_.state(i), u, noise_, step_);
           loglik = model_.log_likelihood(aux_.state(i), z);
           // FRIM: bounded rejection of negligible-weight draws.
@@ -142,6 +157,7 @@ class CentralizedParticleFilter {
         }
         aux_.log_weights()[i] = cur_.log_weights()[i] + loglik;
       }
+      note_rng(draws);
       cur_.swap(aux_);
       if (opts_.check_invariants) {
         debug::check_log_weights<T>(std::span<const T>(cur_.log_weights()),
@@ -163,6 +179,7 @@ class CentralizedParticleFilter {
       }
     }
     if (tel_ != nullptr) record_step_telemetry(resampled);
+    if (mon_ != nullptr) record_step_monitor(resampled);
     ++step_;
   }
 
@@ -215,11 +232,38 @@ class CentralizedParticleFilter {
     if (!resampled) reg.counter("resample.skipped").add(1);
   }
 
+  /// Per-step monitor probes; called only when mon_ != nullptr, after the
+  /// resampling stage. Purely passive: reads diagnostics already computed.
+  void record_step_monitor(bool resampled) {
+    const double log_n = n_ > 1 ? std::log(static_cast<double>(n_)) : 0.0;
+    const double entropy = static_cast<double>(
+        estimation::weight_entropy<T>(std::span<const T>(weights_)));
+    double unique = 1.0;
+    if (resampled) {
+      unique_scratch_.resize(n_);
+      unique = estimation::unique_parent_fraction(
+          std::span<const std::uint32_t>(indices_),
+          std::span<std::uint32_t>(unique_scratch_));
+    }
+    mon_->observe_group(step_, 0, ess_ / static_cast<double>(n_), unique,
+                        log_n > 0.0 ? entropy / log_n : 1.0, degenerate_,
+                        nonfinite_weights_);
+  }
+
   /// Converts log-weights to max-normalized linear weights in `weights_`
   /// and returns the index of the best particle. Sets `degenerate_` when
   /// no particle carries a finite log-weight (weights_ is then uniform).
   std::size_t normalize_weights() {
     const auto lw = std::span<const T>(cur_.log_weights());
+    if (mon_ != nullptr) {
+      // Passive NaN-leak scan: NaN or +inf log-weights are anomalies
+      // (-inf is legitimate likelihood underflow).
+      std::uint64_t bad = 0;
+      for (const T v : lw) {
+        if (std::isnan(v) || (std::isinf(v) && v > T(0))) ++bad;
+      }
+      nonfinite_weights_ = bad;
+    }
     degenerate_ = !resample::normalize_from_log<T>(lw, weights_);
     if (degenerate_) return 0;
     std::size_t best = 0;
@@ -275,15 +319,18 @@ class CentralizedParticleFilter {
       return true;
     }
     const double u = prng::uniform01<double>(rng_);
+    note_rng(1);  // the resampling-policy coin
     if (!resample::should_resample(opts_.policy, ess_ / static_cast<double>(n_), u)) {
       return false;
     }
     auto out = std::span<std::uint32_t>(indices_);
     const auto w = std::span<const T>(weights_);
+    sortnet::NetCounters nc;
+    sortnet::NetCounters* ncp = cnt_scan_ ? &nc : nullptr;
     switch (opts_.resample) {
       case ResampleAlgorithm::kRws: {
         fill_uniforms(n_);
-        resample::rws_resample<T>(w, uniform_scratch(), out, cumsum_);
+        resample::rws_resample<T>(w, uniform_scratch(), out, cumsum_, ncp);
         break;
       }
       case ResampleAlgorithm::kVose: {
@@ -293,15 +340,18 @@ class CentralizedParticleFilter {
         break;
       }
       case ResampleAlgorithm::kSystematic: {
-        resample::systematic_resample<T>(w, prng::uniform01<T>(rng_), out, cumsum_);
+        note_rng(1);
+        resample::systematic_resample<T>(w, prng::uniform01<T>(rng_), out, cumsum_,
+                                         ncp);
         break;
       }
       case ResampleAlgorithm::kStratified: {
         fill_uniforms(n_);
-        resample::stratified_resample<T>(w, uniform_scratch(), out, cumsum_);
+        resample::stratified_resample<T>(w, uniform_scratch(), out, cumsum_, ncp);
         break;
       }
     }
+    if (cnt_scan_) cnt_scan_->add(nc.scan_sweeps);
     if (opts_.check_invariants) {
       debug::check_index_set(out, n_, 0);
       debug::check_resample_distribution<T>(w, out, 0);
@@ -328,11 +378,16 @@ class CentralizedParticleFilter {
       T current_ll = model_.log_likelihood(cur_.state(i), z);
       for (std::size_t s = 0; s < opts_.move_steps; ++s) {
         for (std::size_t d = 0; d < model_.noise_dim(); ++d) noise_[d] = normal();
+        note_rng(model_.noise_dim());
         model_.sample_transition(pred, proposal, u, noise_, step_);
         const T proposal_ll = model_.log_likelihood(proposal, z);
         const T log_accept = proposal_ll - current_ll;
-        if (log_accept >= T(0) ||
-            prng::uniform01<T>(rng_) < std::exp(log_accept)) {
+        bool accept = log_accept >= T(0);
+        if (!accept) {
+          note_rng(1);  // the MH acceptance coin
+          accept = prng::uniform01<T>(rng_) < std::exp(log_accept);
+        }
+        if (accept) {
           std::copy(proposal.begin(), proposal.end(), cur_.state(i).begin());
           current_ll = proposal_ll;
           ++move_accepts_;
@@ -344,6 +399,12 @@ class CentralizedParticleFilter {
   void fill_uniforms(std::size_t count) {
     uniforms_.resize(count);
     for (auto& v : uniforms_) v = prng::uniform01<T>(rng_);
+    note_rng(count);
+  }
+
+  /// Folds `n` generated variates into work.rng_draws when telemetry is on.
+  void note_rng(std::uint64_t n) {
+    if (cnt_rng_) cnt_rng_->add(n);
   }
 
   [[nodiscard]] std::span<const T> uniform_scratch() const { return uniforms_; }
@@ -364,10 +425,14 @@ class CentralizedParticleFilter {
   std::vector<T> prev_;  // x_{k-1} copy for the resample-move step
   StageTimers timers_;
   telemetry::Telemetry* tel_ = nullptr;
+  monitor::HealthMonitor* mon_ = nullptr;
+  telemetry::Counter* cnt_rng_ = nullptr;
+  telemetry::Counter* cnt_scan_ = nullptr;
   std::array<telemetry::LatencyHistogram*, kStageCount> stage_hist_{};
   std::vector<std::uint32_t> unique_scratch_;
   double ess_ = 0.0;
   bool degenerate_ = false;
+  std::uint64_t nonfinite_weights_ = 0;
   std::size_t step_ = 0;
   std::size_t move_accepts_ = 0;
   std::size_t move_proposals_ = 0;

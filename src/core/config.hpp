@@ -18,6 +18,10 @@ namespace esthera::telemetry {
 struct Telemetry;
 }
 
+namespace esthera::monitor {
+class HealthMonitor;
+}
+
 namespace esthera::core {
 
 /// Which resampling algorithm a (sub-)filter runs (paper Sec. IV/VI-F).
@@ -78,6 +82,17 @@ struct FilterConfig {
   /// Recording is passive: estimates are bit-identical either way. The
   /// pointer is borrowed; the Telemetry must outlive the filter.
   telemetry::Telemetry* telemetry = nullptr;
+
+  /// Runtime health monitor (esthera::monitor), attached exactly like
+  /// `telemetry`: null (the default) disables every probe at the cost of
+  /// one branch per site; when set, the filter feeds the monitor the same
+  /// per-step signals it records into telemetry (per-group ESS fraction,
+  /// unique-parent fraction, normalized weight entropy, non-finite-weight
+  /// counts, exchange volume) and the monitor raises structured,
+  /// rate-limited events for collapse/starvation/anomaly conditions.
+  /// Observation is passive: estimates are bit-identical either way.
+  /// Borrowed pointer; the HealthMonitor must outlive the filter.
+  monitor::HealthMonitor* monitor = nullptr;
 
   [[nodiscard]] std::size_t total_particles() const {
     return particles_per_filter * num_filters;

@@ -34,6 +34,7 @@
 #include "device/invariants.hpp"
 #include "estimation/diagnostics.hpp"
 #include "models/model.hpp"
+#include "monitor/monitor.hpp"
 #include "prng/mtgp_stream.hpp"
 #include "resample/ess.hpp"
 #include "resample/rws.hpp"
@@ -147,6 +148,7 @@ class DistributedParticleFilter {
     std::fill(group_unique_.begin(), group_unique_.end(), 1.0);
     std::fill(group_entropy_.begin(), group_entropy_.end(), 0.0);
     std::fill(group_degenerate_.begin(), group_degenerate_.end(), std::uint8_t{0});
+    std::fill(group_nonfinite_.begin(), group_nonfinite_.end(), std::uint64_t{0});
     // Estimate before the first measurement: particle 0's state (all
     // particles are prior draws; there is no weight information yet).
     const auto s = cur_.state(0);
@@ -172,6 +174,7 @@ class DistributedParticleFilter {
       run_resampling();
     }
     if (tel_) record_step_telemetry();
+    if (mon_) record_step_monitor();
     ++step_;
   }
 
@@ -225,6 +228,7 @@ class DistributedParticleFilter {
     group_unique_.assign(n_filters_, 1.0);
     group_entropy_.assign(n_filters_, 0.0);
     group_degenerate_.assign(n_filters_, 0);
+    group_nonfinite_.assign(n_filters_, 0);
     // Exchange volume is a topology constant: particles written per round
     // when the exchange stage runs at all.
     if (cfg_.scheme == topology::ExchangeScheme::kNone ||
@@ -243,6 +247,7 @@ class DistributedParticleFilter {
       checked_dev_ = std::make_unique<debug::CheckedDevice>(*dev_);
     }
     tel_ = cfg_.telemetry;
+    mon_ = cfg_.monitor;
     if (tel_) {
       // Resolve every registry metric once; per-step probes then touch
       // cached pointers only.
@@ -255,6 +260,15 @@ class DistributedParticleFilter {
           .set(static_cast<double>(m_));
       tel_->registry.gauge("rng.normals_budget").set(static_cast<double>(npg));
       tel_->registry.gauge("rng.uniforms_budget").set(static_cast<double>(upg));
+      // Deterministic work counters: machine-independent cost proxies the
+      // bench regression gate diffs. Totals are identical for identical
+      // (config, seed, steps) regardless of the worker count -- per-group
+      // tallies are summed with commutative relaxed adds.
+      cnt_barriers_ = &tel_->registry.counter("work.barriers");
+      cnt_lockstep_ = &tel_->registry.counter("work.lockstep_phases");
+      cnt_cmpex_ = &tel_->registry.counter("work.compare_exchanges");
+      cnt_scan_ = &tel_->registry.counter("work.scan_sweeps");
+      cnt_rng_ = &tel_->registry.counter("work.rng_draws");
     }
     initialize();
   }
@@ -267,6 +281,7 @@ class DistributedParticleFilter {
   void launch(const char* name, Kernel&& kernel) {
     telemetry::ScopedSpan span(tel_ ? &tel_->trace : nullptr, name, 0,
                                n_filters_, step_);
+    if (cnt_barriers_) cnt_barriers_->add(1);  // kernel-boundary global barrier
     if (checked_dev_) {
       checked_dev_->launch(name, n_filters_, kernel);
     } else {
@@ -297,6 +312,11 @@ class DistributedParticleFilter {
       telemetry::ScopedSpan span(tel_ ? &tel_->trace : nullptr, "prng", 0,
                                  n_filters_, step_);
       stream_.fill(dev_->pool(), rand_);
+    }
+    if (cnt_barriers_) cnt_barriers_->add(1);  // the fill is a launch, too
+    if (cnt_rng_) {
+      cnt_rng_->add(n_filters_ *
+                    (rand_.normals_per_group + rand_.uniforms_per_group));
     }
     if (checker_) {
       checker_->check_prng_buffers<T>(rand_.normals, rand_.uniforms);
@@ -338,7 +358,13 @@ class DistributedParticleFilter {
         idx[p] = static_cast<std::uint32_t>(p);
       }
       // Descending: the best particle lands at local index 0.
-      sortnet::bitonic_sort_by_key<T, std::uint32_t>(keys, idx, std::greater<T>());
+      sortnet::NetCounters nc;
+      sortnet::bitonic_sort_by_key<T, std::uint32_t>(keys, idx, std::greater<T>(),
+                                                     cnt_cmpex_ ? &nc : nullptr);
+      if (cnt_cmpex_) {
+        cnt_cmpex_->add(nc.compare_exchanges);
+        cnt_lockstep_->add(nc.lockstep_phases);
+      }
       // Apply the permutation: gather states (non-contiguous reads,
       // contiguous writes) and the log-weights into the aux store.
       sortnet::gather_rows<T, std::uint32_t>(cur_.state_block(base, m_),
@@ -531,8 +557,18 @@ class DistributedParticleFilter {
       // zero, and a group with *no* finite log-weight (every likelihood
       // underflowed, or NaN leaked in) reports itself degenerate - feeding
       // its NaN weights to RWS/Vose/systematic would yield garbage indices.
+      if (mon_) {
+        // Passive NaN-leak scan for the health monitor: NaN or +inf
+        // log-weights are anomalies (-inf is legitimate underflow).
+        std::uint64_t bad = 0;
+        for (std::size_t p = 0; p < m_; ++p) {
+          const T v = lw[p];
+          if (std::isnan(v) || (std::isinf(v) && v > T(0))) ++bad;
+        }
+        group_nonfinite_[g] = bad;
+      }
       const bool has_weight_info = resample::normalize_from_log<T>(lw, w);
-      if (tel_) {
+      if (tel_ || mon_) {
         // Passive read of the freshly normalized weights; log(m) for a
         // degenerate (uniform-fallback) group.
         group_entropy_[g] =
@@ -574,9 +610,11 @@ class DistributedParticleFilter {
       resampled_flags_[g] = 1;
       auto out = std::span<std::uint32_t>(resample_out_).subspan(base, m_);
       auto cumsum = std::span<T>(cumsum_).subspan(base, m_);
+      sortnet::NetCounters nc;
+      sortnet::NetCounters* ncp = cnt_scan_ ? &nc : nullptr;
       switch (cfg_.resample) {
         case ResampleAlgorithm::kRws:
-          resample::rws_resample<T>(w, uniforms.first(m_), out, cumsum);
+          resample::rws_resample<T>(w, uniforms.first(m_), out, cumsum, ncp);
           break;
         case ResampleAlgorithm::kVose: {
           auto prob = std::span<T>(alias_prob_).subspan(base, m_);
@@ -589,11 +627,16 @@ class DistributedParticleFilter {
         }
         case ResampleAlgorithm::kSystematic:
           resample::systematic_resample<T>(w, static_cast<T>(uniforms[0]), out,
-                                           cumsum);
+                                           cumsum, ncp);
           break;
         case ResampleAlgorithm::kStratified:
-          resample::stratified_resample<T>(w, uniforms.first(m_), out, cumsum);
+          resample::stratified_resample<T>(w, uniforms.first(m_), out, cumsum,
+                                           ncp);
           break;
+      }
+      if (cnt_scan_) {
+        cnt_scan_->add(nc.scan_sweeps);
+        cnt_lockstep_->add(nc.scan_sweeps);  // sweeps are lock-step rounds too
       }
       sortnet::gather_rows<T, std::uint32_t>(cur_.state_block(base, m_),
                                              aux_.state_block(base, m_), out, dim_);
@@ -683,6 +726,24 @@ class DistributedParticleFilter {
                   static_cast<double>(pool_stats.jobs_executed));
   }
 
+  /// Host-side, once per step() when a HealthMonitor is attached: feeds the
+  /// per-group diagnostics of the round just completed into the monitor's
+  /// detectors. Purely observational -- reads filter state only, so
+  /// estimates stay bit-identical with and without a monitor.
+  void record_step_monitor() {
+    const double m = static_cast<double>(m_);
+    // Normalized entropy is entropy / log(m); for m == 1 entropy carries no
+    // information, so report full health instead of a spurious floor trip.
+    const double log_m = m_ > 1 ? std::log(m) : 0.0;
+    for (std::size_t g = 0; g < n_filters_; ++g) {
+      mon_->observe_group(step_, static_cast<std::int64_t>(g),
+                          group_ess_[g] / m, group_unique_[g],
+                          log_m > 0.0 ? group_entropy_[g] / log_m : 1.0,
+                          group_degenerate_[g] != 0, group_nonfinite_[g]);
+    }
+    mon_->observe_exchange_volume(step_, static_cast<double>(exchange_volume_));
+  }
+
   /// Gordon roughening of group g's freshly resampled population (in aux_):
   /// per-dimension jitter scaled by the local value range and m^{-1/dim}.
   void apply_roughening(std::size_t g) {
@@ -745,11 +806,20 @@ class DistributedParticleFilter {
   T estimate_lw_ = T(0);
   StageTimers timers_;
   telemetry::Telemetry* tel_ = nullptr;
+  monitor::HealthMonitor* mon_ = nullptr;
   std::array<telemetry::LatencyHistogram*, kStageCount> stage_hist_{};
+  // Cached work.* registry counters (null without telemetry); kernels fold
+  // their per-group deterministic tallies into these.
+  telemetry::Counter* cnt_barriers_ = nullptr;
+  telemetry::Counter* cnt_lockstep_ = nullptr;
+  telemetry::Counter* cnt_cmpex_ = nullptr;
+  telemetry::Counter* cnt_scan_ = nullptr;
+  telemetry::Counter* cnt_rng_ = nullptr;
   std::vector<double> group_ess_;
   std::vector<double> group_unique_;
   std::vector<double> group_entropy_;
   std::vector<std::uint8_t> group_degenerate_;
+  std::vector<std::uint64_t> group_nonfinite_;
   std::size_t exchange_volume_ = 0;
   double ess_sum_ = 0.0;
   double unique_sum_ = 0.0;

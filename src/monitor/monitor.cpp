@@ -1,0 +1,137 @@
+#include "monitor/monitor.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "telemetry/json.hpp"
+
+namespace esthera::monitor {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void write_event_line(std::ostream& os, const Event& e) {
+  telemetry::json::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "esthera.monitor.event/1");
+  w.kv("severity", to_string(e.severity));
+  w.kv("detector", e.detector);
+  w.kv("step", static_cast<std::uint64_t>(e.step));
+  if (e.group != HealthMonitor::kNoGroup) w.kv("group", e.group);
+  w.kv("value", e.value);
+  w.kv("threshold", e.threshold);
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(MonitorConfig config) : cfg_(config) {}
+
+void HealthMonitor::set_sink(std::ostream* os) {
+  std::lock_guard lock(mutex_);
+  sink_ = os;
+}
+
+void HealthMonitor::raise(Severity severity, const char* detector,
+                          std::uint64_t step, std::int64_t group, double value,
+                          double threshold) {
+  const auto key = std::make_pair(std::string(detector), group);
+  const auto it = last_fired_.find(key);
+  if (it != last_fired_.end() && cfg_.cooldown_steps > 0 &&
+      step < it->second + cfg_.cooldown_steps) {
+    ++suppressed_;
+    return;
+  }
+  last_fired_[key] = step;
+  Event e{severity, detector, step, group, value, threshold};
+  ++emitted_;
+  ++per_detector_[e.detector];
+  if (sink_) write_event_line(*sink_, e);
+  if (events_.size() < cfg_.max_events) events_.push_back(std::move(e));
+}
+
+void HealthMonitor::observe_group(std::uint64_t step, std::int64_t group,
+                                  double ess_fraction, double unique_parent,
+                                  double normalized_entropy, bool degenerate,
+                                  std::uint64_t nonfinite_weights) {
+  std::lock_guard lock(mutex_);
+  if (nonfinite_weights > 0) {
+    raise(Severity::kCritical, "nonfinite_weights", step, group,
+          static_cast<double>(nonfinite_weights), 0.0);
+  }
+  if (degenerate || ess_fraction < cfg_.ess_collapse_fraction) {
+    raise(degenerate ? Severity::kCritical : Severity::kWarning, "ess_collapse",
+          step, group, ess_fraction, cfg_.ess_collapse_fraction);
+  }
+  if (unique_parent < cfg_.unique_parent_min) {
+    raise(Severity::kWarning, "parent_starvation", step, group, unique_parent,
+          cfg_.unique_parent_min);
+  }
+  if (!degenerate && normalized_entropy < cfg_.entropy_floor_fraction) {
+    raise(Severity::kInfo, "entropy_floor", step, group, normalized_entropy,
+          cfg_.entropy_floor_fraction);
+  }
+}
+
+void HealthMonitor::observe_exchange_volume(std::uint64_t step, double volume) {
+  std::lock_guard lock(mutex_);
+  if (exchange_reference_ < 0.0) {
+    exchange_reference_ = volume;
+    return;
+  }
+  const double ref = exchange_reference_;
+  const double denom = ref > 1.0 ? ref : 1.0;
+  if (std::abs(volume - ref) / denom > cfg_.exchange_tolerance) {
+    raise(Severity::kWarning, "exchange_anomaly", step, kNoGroup, volume, ref);
+  }
+}
+
+std::vector<Event> HealthMonitor::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t HealthMonitor::event_count() const {
+  std::lock_guard lock(mutex_);
+  return emitted_;
+}
+
+std::size_t HealthMonitor::suppressed_count() const {
+  std::lock_guard lock(mutex_);
+  return suppressed_;
+}
+
+std::size_t HealthMonitor::count(std::string_view detector) const {
+  std::lock_guard lock(mutex_);
+  const auto it = per_detector_.find(std::string(detector));
+  return it == per_detector_.end() ? 0 : it->second;
+}
+
+void HealthMonitor::write_events_jsonl(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  for (const Event& e : events_) write_event_line(os, e);
+}
+
+void HealthMonitor::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  emitted_ = 0;
+  suppressed_ = 0;
+  per_detector_.clear();
+  last_fired_.clear();
+  exchange_reference_ = -1.0;
+}
+
+}  // namespace esthera::monitor

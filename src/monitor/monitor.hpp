@@ -1,0 +1,148 @@
+// esthera::monitor -- the layer that *acts* on the signals
+// esthera::telemetry only records. A HealthMonitor consumes the same
+// per-step probes the filters feed into telemetry::StepSeries (per-group
+// ESS, unique-parent fraction, weight entropy, exchange volume) plus a
+// non-finite-weight scan, checks them online against configurable
+// thresholds, and raises structured, rate-limited events:
+//
+//   ess_collapse       ESS/m below MonitorConfig::ess_collapse_fraction
+//                      (the degeneracy failure mode the paper's particle
+//                      exchange exists to fight; cf. the adaptive
+//                      resampling line of work in PAPERS.md)
+//   parent_starvation  unique-parent fraction below unique_parent_min
+//                      (resampling collapsed onto few ancestors)
+//   entropy_floor      normalized weight entropy below entropy_floor_fraction
+//   nonfinite_weights  NaN or +inf log-weights after weighting (a NaN
+//                      leak; -inf is legitimate likelihood underflow)
+//   exchange_anomaly   exchange volume deviating from the first observed
+//                      reference volume by more than exchange_tolerance
+//
+// Attachment mirrors telemetry exactly: filters carry a nullable
+// `monitor::HealthMonitor*` (FilterConfig::monitor /
+// CentralizedOptions::monitor); every probe is a branch on that pointer,
+// observation is purely passive (no RNG consumed, no filter state
+// written), so estimates are bit-identical with and without a monitor
+// attached -- test-enforced. Events stream to an optional JSONL sink
+// (one `esthera.monitor.event/1` object per line) and are retained
+// in memory for programmatic inspection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esthera::monitor {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kCritical };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+/// Detection thresholds and rate-limit policy. The defaults are sized for
+/// "tell me when the filter is actually sick", not statistical perfection.
+struct MonitorConfig {
+  /// ess_collapse fires when a group's ESS/m drops below this fraction.
+  double ess_collapse_fraction = 0.05;
+  /// parent_starvation fires when a resampled group's unique-parent
+  /// fraction drops below this value (1/m = total collapse onto one
+  /// ancestor, the Fig 6a failure mode).
+  double unique_parent_min = 0.05;
+  /// entropy_floor fires when a group's weight entropy, normalized by its
+  /// maximum log(m), drops below this fraction.
+  double entropy_floor_fraction = 0.05;
+  /// exchange_anomaly fires when the per-step exchange volume deviates
+  /// from the first observed (reference) volume by more than this relative
+  /// tolerance.
+  double exchange_tolerance = 0.5;
+  /// Rate limit: after an event fires for a (detector, group) pair, further
+  /// trips of that pair are suppressed (counted, not emitted) until this
+  /// many steps have passed. 0 emits every trip.
+  std::uint64_t cooldown_steps = 10;
+  /// Cap on events retained in memory; beyond it events still count and
+  /// stream to the sink but are no longer stored.
+  std::size_t max_events = 10000;
+};
+
+/// One raised event. `group` is -1 for population-level signals.
+struct Event {
+  Severity severity = Severity::kWarning;
+  std::string detector;
+  std::uint64_t step = 0;
+  std::int64_t group = -1;
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+/// Online health checker for particle filters; thread-safe so one monitor
+/// may be shared by several filters (like telemetry::Telemetry).
+class HealthMonitor {
+ public:
+  static constexpr std::int64_t kNoGroup = -1;
+
+  explicit HealthMonitor(MonitorConfig config = {});
+
+  /// Streams every subsequently emitted event to `os` as one JSON object
+  /// per line (schema esthera.monitor.event/1). Pass nullptr to detach.
+  /// The stream is borrowed and must outlive the monitor's observations.
+  void set_sink(std::ostream* os);
+
+  [[nodiscard]] const MonitorConfig& config() const { return cfg_; }
+
+  // -- filter-facing probes (passive; called once per group per step) ----
+
+  /// Group-level health sample: `ess_fraction` = ESS/m, `unique_parent`
+  /// the resampled unique-parent fraction, `normalized_entropy` the weight
+  /// entropy divided by log(m), `nonfinite_weights` the count of NaN/+inf
+  /// log-weights observed after weighting. `degenerate` marks a group that
+  /// had no finite log-weight at all (its ESS is 0, so ess_collapse fires
+  /// at critical severity).
+  void observe_group(std::uint64_t step, std::int64_t group, double ess_fraction,
+                     double unique_parent, double normalized_entropy,
+                     bool degenerate, std::uint64_t nonfinite_weights);
+
+  /// Population-level exchange volume for `step`. The first observation
+  /// becomes the reference; later deviations beyond the tolerance fire
+  /// exchange_anomaly.
+  void observe_exchange_volume(std::uint64_t step, double volume);
+
+  // -- results -----------------------------------------------------------
+
+  /// Copy of the retained events, in emission order.
+  [[nodiscard]] std::vector<Event> events() const;
+  /// Total events emitted (may exceed events().size() past max_events).
+  [[nodiscard]] std::size_t event_count() const;
+  /// Events whose (detector, group) pair was inside its cooldown window.
+  [[nodiscard]] std::size_t suppressed_count() const;
+  /// Emitted events for one detector name.
+  [[nodiscard]] std::size_t count(std::string_view detector) const;
+
+  /// Re-serializes the retained events as JSONL (same line format as the
+  /// streaming sink).
+  void write_events_jsonl(std::ostream& os) const;
+
+  /// Drops all retained events, counts, cooldown state, and the exchange
+  /// reference volume. The sink stays attached.
+  void clear();
+
+ private:
+  /// Emits unless rate-limited; assumes mutex_ is held.
+  void raise(Severity severity, const char* detector, std::uint64_t step,
+             std::int64_t group, double value, double threshold);
+
+  MonitorConfig cfg_;
+  mutable std::mutex mutex_;
+  std::ostream* sink_ = nullptr;
+  std::vector<Event> events_;
+  std::size_t emitted_ = 0;
+  std::size_t suppressed_ = 0;
+  std::map<std::string, std::size_t> per_detector_;
+  // Rate-limit state: (detector, group) -> step after the last emission.
+  std::map<std::pair<std::string, std::int64_t>, std::uint64_t> last_fired_;
+  double exchange_reference_ = -1.0;  ///< <0 until the first observation
+};
+
+}  // namespace esthera::monitor

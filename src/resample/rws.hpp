@@ -18,11 +18,12 @@ namespace esthera::resample {
 /// `weights`) and returns the total weight. Uses the Blelloch lock-step
 /// scan when the size is a power of two, matching the device kernel.
 template <typename T>
-T build_cumulative(std::span<const T> weights, std::span<T> cumsum) {
+T build_cumulative(std::span<const T> weights, std::span<T> cumsum,
+                   sortnet::NetCounters* nc = nullptr) {
   assert(cumsum.size() == weights.size());
   for (std::size_t i = 0; i < weights.size(); ++i) cumsum[i] = weights[i];
   if (sortnet::is_pow2(cumsum.size())) {
-    const T total = sortnet::blelloch_exclusive_scan(cumsum);
+    const T total = sortnet::blelloch_exclusive_scan(cumsum, nc);
     // Convert exclusive to inclusive: shift left, append total.
     for (std::size_t i = 0; i + 1 < cumsum.size(); ++i) cumsum[i] = cumsum[i + 1];
     if (!cumsum.empty()) cumsum[cumsum.size() - 1] = total;
@@ -53,9 +54,10 @@ std::size_t upper_index(std::span<const T> cumsum, T target) {
 /// `cumsum` is caller-provided scratch of the same size as `weights`.
 template <typename T>
 void rws_resample(std::span<const T> weights, std::span<const T> uniforms,
-                  std::span<std::uint32_t> out, std::span<T> cumsum) {
+                  std::span<std::uint32_t> out, std::span<T> cumsum,
+                  sortnet::NetCounters* nc = nullptr) {
   assert(uniforms.size() >= out.size());
-  const T total = build_cumulative(weights, cumsum);
+  const T total = build_cumulative(weights, cumsum, nc);
   assert(total > T(0) && "RWS requires positive total weight");
   for (std::size_t s = 0; s < out.size(); ++s) {
     const T target = uniforms[s] * total;

@@ -18,10 +18,11 @@ namespace esthera::resample {
 /// Minimal variance among unbiased schemes; consumes a single uniform.
 template <typename T>
 void systematic_resample(std::span<const T> weights, T u,
-                         std::span<std::uint32_t> out, std::span<T> cumsum) {
+                         std::span<std::uint32_t> out, std::span<T> cumsum,
+                         sortnet::NetCounters* nc = nullptr) {
   const std::size_t draws = out.size();
   if (draws == 0) return;
-  const T total = build_cumulative(weights, cumsum);
+  const T total = build_cumulative(weights, cumsum, nc);
   assert(total > T(0));
   const T step = total / static_cast<T>(draws);
   T pointer = u * step;
@@ -36,11 +37,12 @@ void systematic_resample(std::span<const T> weights, T u,
 /// Stratified resampling: one uniform per stratum [k/n, (k+1)/n).
 template <typename T>
 void stratified_resample(std::span<const T> weights, std::span<const T> uniforms,
-                         std::span<std::uint32_t> out, std::span<T> cumsum) {
+                         std::span<std::uint32_t> out, std::span<T> cumsum,
+                         sortnet::NetCounters* nc = nullptr) {
   const std::size_t draws = out.size();
   if (draws == 0) return;
   assert(uniforms.size() >= draws);
-  const T total = build_cumulative(weights, cumsum);
+  const T total = build_cumulative(weights, cumsum, nc);
   assert(total > T(0));
   const T step = total / static_cast<T>(draws);
   std::size_t idx = 0;

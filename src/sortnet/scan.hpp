@@ -17,7 +17,7 @@ namespace esthera::sortnet {
 /// Blelloch exclusive scan in place; returns the total sum.
 /// Requires a power-of-two size (pad externally otherwise).
 template <typename T>
-T blelloch_exclusive_scan(std::span<T> data) {
+T blelloch_exclusive_scan(std::span<T> data, NetCounters* nc = nullptr) {
   const std::size_t n = data.size();
   if (n == 0) return T(0);
   if (n == 1) {
@@ -28,6 +28,7 @@ T blelloch_exclusive_scan(std::span<T> data) {
   assert(is_pow2(n) && "blelloch scan requires a power-of-two size");
   // Up-sweep (reduce) phase.
   for (std::size_t d = 1; d < n; d <<= 1) {
+    if (nc) ++nc->scan_sweeps;
     for (std::size_t i = 2 * d - 1; i < n; i += 2 * d) {
       data[i] += data[i - d];
     }
@@ -36,6 +37,7 @@ T blelloch_exclusive_scan(std::span<T> data) {
   data[n - 1] = T(0);
   // Down-sweep phase.
   for (std::size_t d = n >> 1; d >= 1; d >>= 1) {
+    if (nc) ++nc->scan_sweeps;
     for (std::size_t i = 2 * d - 1; i < n; i += 2 * d) {
       const T t = data[i - d];
       data[i - d] = data[i];

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace esthera::telemetry::json {
 
@@ -110,10 +112,31 @@ void JsonWriter::null() {
 }
 
 // ---------------------------------------------------------------------------
-// Validator: recursive descent over one JSON value.
+// Validator and DOM parser: one recursive descent over one JSON value.
+// Every production takes a nullable output slot; the validator passes
+// nullptr everywhere and pays nothing for tree construction.
 // ---------------------------------------------------------------------------
 
 namespace {
+
+// Appends `cp` to `out` as UTF-8 (cp <= 0x10FFFF by construction).
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
 
 struct Parser {
   std::string_view text;
@@ -140,7 +163,24 @@ struct Parser {
     return true;
   }
 
-  bool string() {
+  // Reads the four hex digits of a \u escape into `cp`.
+  bool hex4(std::uint32_t& cp) {
+    cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      ++pos;
+      if (pos >= text.size() || !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+        return fail("bad \\u escape");
+      }
+      const char h = text[pos];
+      cp = (cp << 4) |
+           static_cast<std::uint32_t>(h <= '9'   ? h - '0'
+                                      : h <= 'F' ? h - 'A' + 10
+                                                 : h - 'a' + 10);
+    }
+    return true;
+  }
+
+  bool string(std::string* out) {
     if (pos >= text.size() || text[pos] != '"') return fail("expected string");
     ++pos;
     while (pos < text.size()) {
@@ -155,16 +195,39 @@ struct Parser {
         if (pos >= text.size()) return fail("truncated escape");
         const char e = text[pos];
         if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos;
-            if (pos >= text.size() || !std::isxdigit(static_cast<unsigned char>(text[pos]))) {
-              return fail("bad \\u escape");
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) return false;
+          // Combine a surrogate pair when the low half follows directly.
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos + 2 < text.size() &&
+              text[pos + 1] == '\\' && text[pos + 2] == 'u') {
+            pos += 2;
+            std::uint32_t lo = 0;
+            if (!hex4(lo)) return false;
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return fail("unpaired surrogate");
             }
           }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
-                   e != 'n' && e != 'r' && e != 't') {
-          return fail("bad escape");
+          if (out) append_utf8(*out, cp);
+        } else {
+          if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+              e != 'n' && e != 'r' && e != 't') {
+            return fail("bad escape");
+          }
+          if (out) {
+            switch (e) {
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              default: *out += e;
+            }
+          }
         }
+      } else if (out) {
+        *out += c;
       }
       ++pos;
     }
@@ -179,7 +242,8 @@ struct Parser {
     return true;
   }
 
-  bool num() {
+  bool num(double* out) {
+    const std::size_t start = pos;
     if (pos < text.size() && text[pos] == '-') ++pos;
     // JSON forbids leading zeros: the integer part is "0" or [1-9][0-9]*.
     if (pos + 1 < text.size() && text[pos] == '0' &&
@@ -196,41 +260,69 @@ struct Parser {
       if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
       if (!digits()) return false;
     }
+    if (out) {
+      const std::string lexeme(text.substr(start, pos - start));
+      *out = std::strtod(lexeme.c_str(), nullptr);
+    }
     return true;
   }
 
-  bool value() {
+  bool value(Value* out) {
     if (++depth > kMaxDepth) return fail("nesting too deep");
     skip_ws();
     if (pos >= text.size()) return fail("unexpected end");
     bool ok = false;
     switch (text[pos]) {
-      case '{': ok = object(); break;
-      case '[': ok = array(); break;
-      case '"': ok = string(); break;
-      case 't': ok = literal("true"); break;
-      case 'f': ok = literal("false"); break;
-      case 'n': ok = literal("null"); break;
-      default: ok = num(); break;
+      case '{': ok = object(out); break;
+      case '[': ok = array(out); break;
+      case '"': {
+        std::string s;
+        ok = string(out ? &s : nullptr);
+        if (ok && out) *out = Value::make_string(std::move(s));
+        break;
+      }
+      case 't':
+        ok = literal("true");
+        if (ok && out) *out = Value::make_bool(true);
+        break;
+      case 'f':
+        ok = literal("false");
+        if (ok && out) *out = Value::make_bool(false);
+        break;
+      case 'n':
+        ok = literal("null");
+        if (ok && out) *out = Value::make_null();
+        break;
+      default: {
+        double d = 0.0;
+        ok = num(out ? &d : nullptr);
+        if (ok && out) *out = Value::make_number(d);
+        break;
+      }
     }
     --depth;
     return ok;
   }
 
-  bool object() {
+  bool object(Value* out) {
     ++pos;  // '{'
+    std::vector<Value::Member> members;
     skip_ws();
     if (pos < text.size() && text[pos] == '}') {
       ++pos;
+      if (out) *out = Value::make_object(std::move(members));
       return true;
     }
     for (;;) {
       skip_ws();
-      if (!string()) return false;
+      std::string key;
+      if (!string(out ? &key : nullptr)) return false;
       skip_ws();
       if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
       ++pos;
-      if (!value()) return false;
+      Value member;
+      if (!value(out ? &member : nullptr)) return false;
+      if (out) members.emplace_back(std::move(key), std::move(member));
       skip_ws();
       if (pos < text.size() && text[pos] == ',') {
         ++pos;
@@ -238,21 +330,26 @@ struct Parser {
       }
       if (pos < text.size() && text[pos] == '}') {
         ++pos;
+        if (out) *out = Value::make_object(std::move(members));
         return true;
       }
       return fail("expected ',' or '}'");
     }
   }
 
-  bool array() {
+  bool array(Value* out) {
     ++pos;  // '['
+    std::vector<Value> items;
     skip_ws();
     if (pos < text.size() && text[pos] == ']') {
       ++pos;
+      if (out) *out = Value::make_array(std::move(items));
       return true;
     }
     for (;;) {
-      if (!value()) return false;
+      Value item;
+      if (!value(out ? &item : nullptr)) return false;
+      if (out) items.push_back(std::move(item));
       skip_ws();
       if (pos < text.size() && text[pos] == ',') {
         ++pos;
@@ -260,6 +357,7 @@ struct Parser {
       }
       if (pos < text.size() && text[pos] == ']') {
         ++pos;
+        if (out) *out = Value::make_array(std::move(items));
         return true;
       }
       return fail("expected ',' or ']'");
@@ -271,7 +369,7 @@ struct Parser {
 
 bool validate(std::string_view text, std::string* error) {
   Parser p{text};
-  if (!p.value()) {
+  if (!p.value(nullptr)) {
     if (error) *error = p.error;
     return false;
   }
@@ -281,6 +379,83 @@ bool validate(std::string_view text, std::string* error) {
     return false;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::make_object(std::vector<Member> members) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+const std::string& Value::as_string() const {
+  static const std::string kEmpty;
+  return kind_ == Kind::kString ? string_ : kEmpty;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  static const std::vector<Value> kEmpty;
+  return kind_ == Kind::kArray ? array_ : kEmpty;
+}
+
+const std::vector<Value::Member>& Value::as_object() const {
+  static const std::vector<Member> kEmpty;
+  return kind_ == Kind::kObject ? object_ : kEmpty;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  Parser p{text};
+  Value root;
+  if (!p.value(&root)) {
+    if (error) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error) *error = "trailing content at offset " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return root;
 }
 
 }  // namespace esthera::telemetry::json

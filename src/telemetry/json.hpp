@@ -1,14 +1,20 @@
-// Minimal JSON emission and validation for the telemetry sinks. No
-// external dependency: the writer tracks comma/nesting state on a small
-// stack, the validator is a recursive-descent checker used by the tests
-// and the CI smoke job to assert every exported artifact parses.
+// Minimal JSON emission, validation, and parsing for the telemetry sinks
+// and the bench regression pipeline. No external dependency: the writer
+// tracks comma/nesting state on a small stack, the validator and the DOM
+// parser are recursive-descent over the same grammar. The validator is
+// used by the tests and the CI smoke job to assert every exported
+// artifact parses; the DOM parser backs bench_compare, which must read
+// the esthera.bench/1 reports the writer produced.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace esthera::telemetry::json {
@@ -63,5 +69,55 @@ class JsonWriter {
 /// True when `text` is one complete, well-formed JSON value. On failure,
 /// `error` (when non-null) receives a short description with an offset.
 [[nodiscard]] bool validate(std::string_view text, std::string* error = nullptr);
+
+/// Parsed JSON value. Objects preserve member order (reports are written
+/// with a stable key order and the comparison output should match it).
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, Value>;
+
+  Value() = default;
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> items);
+  static Value make_object(std::vector<Member> members);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one on a mismatched kind returns
+  /// the type's zero value (false / 0.0 / empty) rather than throwing, so
+  /// comparison code can stay linear and report "missing" naturally.
+  [[nodiscard]] bool as_bool() const { return kind_ == Kind::kBool && bool_; }
+  [[nodiscard]] double as_number() const { return kind_ == Kind::kNumber ? number_ : 0.0; }
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& as_array() const;
+  [[nodiscard]] const std::vector<Member>& as_object() const;
+
+  /// Object member lookup; nullptr when absent or when this is not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<Member> object_;
+};
+
+/// Parses one complete JSON value (same grammar `validate` accepts).
+/// Returns nullopt on malformed input and fills `error` with a short
+/// description and offset.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error = nullptr);
 
 }  // namespace esthera::telemetry::json

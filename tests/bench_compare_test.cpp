@@ -1,0 +1,245 @@
+// bench regression pipeline: the JSON DOM parser and the report
+// comparator behind bench_compare. Golden cases: identical reports are
+// clean, a perturbed scalar or work counter is flagged, build-stamp
+// mismatches are fatal unless overridden.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench_util/compare.hpp"
+#include "telemetry/json.hpp"
+
+namespace {
+
+using namespace esthera;
+using bench_util::compare::CompareOptions;
+using bench_util::compare::Result;
+using telemetry::json::Value;
+
+// ------------------------------------------------------------- DOM parser
+
+TEST(JsonParse, AcceptsScalarsArraysAndObjects) {
+  const auto v = telemetry::json::parse(
+      R"({"a": 1.5, "b": "x\n\"y\"", "c": [true, false, null], "d": {"n": -2e3}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->find("a")->as_number(), 1.5);
+  EXPECT_EQ(v->find("b")->as_string(), "x\n\"y\"");
+  const auto& arr = v->find("c")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_DOUBLE_EQ(v->find("d")->find("n")->as_number(), -2000.0);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, PreservesObjectMemberOrder) {
+  const auto v = telemetry::json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v.has_value());
+  const auto& members = v->as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes) {
+  const auto v = telemetry::json::parse(R"("Aé€")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9\xe2\x82\xac");  // A, e-acute, euro
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(telemetry::json::parse("{\"a\": }", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(telemetry::json::parse("[1, 2", &error).has_value());
+  EXPECT_FALSE(telemetry::json::parse("01", &error).has_value());
+  EXPECT_FALSE(telemetry::json::parse("{} trailing", &error).has_value());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  std::ostringstream os;
+  telemetry::json::JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "bench \"quoted\" name");
+  w.kv("value", 3.25);
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{42});
+  w.value(true);
+  w.end_array();
+  w.end_object();
+  const auto v = telemetry::json::parse(os.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("name")->as_string(), "bench \"quoted\" name");
+  EXPECT_DOUBLE_EQ(v->find("value")->as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(v->find("list")->as_array()[0].as_number(), 42.0);
+}
+
+// ------------------------------------------------------------- comparator
+
+/// A minimal but complete esthera.bench/1 report.
+std::string report(double rmse, std::uint64_t rng_draws,
+                   const std::string& build_type = "release",
+                   const std::string& name = "gate") {
+  std::ostringstream os;
+  os << R"({"schema": "esthera.bench/1", "name": ")" << name << R"(",)"
+     << R"("description": "d", "host": "h", "full_scale": false,)"
+     << R"("build": {"version": "1.0.0", "build_type": ")" << build_type
+     << R"(", "checked": false, "telemetry_build": false, "workers": 8},)"
+     << R"("values": {"rmse": )" << rmse << R"(},)"
+     << R"("tables": {"t": {"headers": ["cfg", "RMSE"],)"
+     << R"("rows": [["a", )" << rmse << R"(]]}},)"
+     << R"("telemetry": {"counters": {"work.rng_draws": )" << rng_draws
+     << R"(, "steps": 60},"gauges": {"pool.jobs_executed": 123},)"
+     << R"("histograms": {"stage.rand": {"count": 60, "sum": 1.0, "min": 0.1,)"
+     << R"("max": 0.9, "mean": 0.5, "p50": 0.4, "p95": 0.8, "p99": 0.9}}}})";
+  return os.str();
+}
+
+Result compare_strings(const std::string& base, const std::string& cur,
+                       const CompareOptions& opts = {}) {
+  const auto b = telemetry::json::parse(base);
+  const auto c = telemetry::json::parse(cur);
+  EXPECT_TRUE(b.has_value());
+  EXPECT_TRUE(c.has_value());
+  return bench_util::compare::compare_reports(*b, *c, opts);
+}
+
+TEST(BenchCompare, IdenticalReportsAreClean) {
+  const auto r = compare_strings(report(0.5, 1000), report(0.5, 1000));
+  EXPECT_FALSE(r.fatal) << r.fatal_reason;
+  EXPECT_FALSE(r.has_regression());
+  EXPECT_EQ(r.exit_status(), 0);
+  EXPECT_FALSE(r.deltas.empty());
+}
+
+TEST(BenchCompare, ScalarWithinToleranceIsClean) {
+  const auto r = compare_strings(report(0.50, 1000), report(0.52, 1000));
+  EXPECT_FALSE(r.has_regression());  // 4% < default 10%
+}
+
+TEST(BenchCompare, PerturbedScalarIsFlagged) {
+  const auto r = compare_strings(report(0.50, 1000), report(0.70, 1000));
+  EXPECT_FALSE(r.fatal);
+  EXPECT_TRUE(r.has_regression());
+  EXPECT_EQ(r.exit_status(), 1);
+  bool found = false;
+  for (const auto& d : r.deltas) {
+    if (d.path == "values.rmse" && d.regression) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompare, PerturbedWorkCounterIsFlaggedExactly) {
+  // One extra RNG draw out of a thousand: far below any scalar noise
+  // threshold, but the counters are deterministic, so it gates.
+  const auto r = compare_strings(report(0.5, 1000), report(0.5, 1001));
+  EXPECT_TRUE(r.has_regression());
+  bool found = false;
+  for (const auto& d : r.deltas) {
+    if (d.path == "counters.work.rng_draws") {
+      EXPECT_TRUE(d.regression);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompare, CounterToleranceCanAbsorbDrift) {
+  CompareOptions opts;
+  opts.counter_rel_tol = 0.01;
+  const auto r = compare_strings(report(0.5, 1000), report(0.5, 1001), opts);
+  EXPECT_FALSE(r.has_regression());
+}
+
+TEST(BenchCompare, TableCellPerturbationIsFlagged) {
+  // Same scalar, but the table cell drifts past tolerance.
+  auto base = report(0.5, 1000);
+  auto cur = base;
+  const auto pos = cur.rfind("0.5]");
+  ASSERT_NE(pos, std::string::npos);
+  cur.replace(pos, 3, "0.9");
+  const auto r = compare_strings(base, cur);
+  EXPECT_TRUE(r.has_regression());
+}
+
+TEST(BenchCompare, MissingMetricIsStructuralMismatch) {
+  auto cur = report(0.5, 1000);
+  // Drop work.rng_draws from the current report.
+  const auto pos = cur.find("\"work.rng_draws\": 1000, ");
+  ASSERT_NE(pos, std::string::npos);
+  cur.erase(pos, std::string("\"work.rng_draws\": 1000, ").size());
+  const auto r = compare_strings(report(0.5, 1000), cur);
+  EXPECT_TRUE(r.has_regression());
+  EXPECT_FALSE(r.mismatches.empty());
+}
+
+TEST(BenchCompare, HistogramCountGatesButLatenciesDoNot) {
+  auto cur = report(0.5, 1000);
+  // Latency stats may drift freely...
+  auto pos = cur.find("\"mean\": 0.5");
+  ASSERT_NE(pos, std::string::npos);
+  cur.replace(pos, std::string("\"mean\": 0.5").size(), "\"mean\": 9.9");
+  EXPECT_FALSE(compare_strings(report(0.5, 1000), cur).has_regression());
+  // ...but the invocation count is exact.
+  pos = cur.find("\"count\": 60");
+  ASSERT_NE(pos, std::string::npos);
+  cur.replace(pos, std::string("\"count\": 60").size(), "\"count\": 61");
+  EXPECT_TRUE(compare_strings(report(0.5, 1000), cur).has_regression());
+}
+
+TEST(BenchCompare, BuildMismatchIsFatalUnlessAllowed) {
+  const auto base = report(0.5, 1000, "release");
+  const auto cur = report(0.5, 1000, "debug");
+  const auto r = compare_strings(base, cur);
+  EXPECT_TRUE(r.fatal);
+  EXPECT_EQ(r.exit_status(), 2);
+  EXPECT_NE(r.fatal_reason.find("build_type"), std::string::npos);
+
+  CompareOptions opts;
+  opts.allow_build_mismatch = true;
+  const auto allowed = compare_strings(base, cur, opts);
+  EXPECT_FALSE(allowed.fatal);
+  EXPECT_FALSE(allowed.has_regression());
+}
+
+TEST(BenchCompare, DifferentBenchNamesAreFatal) {
+  const auto r = compare_strings(report(0.5, 1000, "release", "gate"),
+                                 report(0.5, 1000, "release", "fig3"));
+  EXPECT_TRUE(r.fatal);
+}
+
+TEST(BenchCompare, NonReportSchemaIsFatal) {
+  const auto r = compare_strings(R"({"schema": "something/else"})",
+                                 report(0.5, 1000));
+  EXPECT_TRUE(r.fatal);
+}
+
+TEST(BenchCompare, CompareFilesReportsUnreadablePathsAsFatal) {
+  const auto r = bench_util::compare::compare_files(
+      "/nonexistent/baseline.json", "/nonexistent/current.json");
+  EXPECT_TRUE(r.fatal);
+  EXPECT_EQ(r.exit_status(), 2);
+}
+
+TEST(BenchCompare, MarkdownSummaryNamesTheRegression) {
+  const auto r = compare_strings(report(0.5, 1000), report(0.9, 1000));
+  std::ostringstream os;
+  bench_util::compare::write_markdown(os, r, "baseline.json", "current.json");
+  const std::string md = os.str();
+  EXPECT_NE(md.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(md.find("values.rmse"), std::string::npos);
+  EXPECT_NE(md.find("baseline.json"), std::string::npos);
+}
+
+TEST(BenchCompare, MarkdownSummarySaysOkWhenClean) {
+  const auto r = compare_strings(report(0.5, 1000), report(0.5, 1000));
+  std::ostringstream os;
+  bench_util::compare::write_markdown(os, r, "a", "b");
+  EXPECT_NE(os.str().find("**OK**"), std::string::npos);
+}
+
+}  // namespace

@@ -130,6 +130,47 @@ TEST(Cli, FlagFollowedByFlagHasNoValue) {
   EXPECT_EQ(cli.get("--b", ""), "x");
 }
 
+TEST(Cli, ParseOrExitAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "--steps=50", "--json", "out.json"};
+  const auto cli = bench_util::Cli::parse_or_exit(4, const_cast<char**>(argv),
+                                                  {"--steps", "--json"});
+  EXPECT_EQ(cli.get_size("--steps", 0), 50u);
+  EXPECT_EQ(cli.get("--json", ""), "out.json");
+}
+
+TEST(CliDeathTest, UnknownFlagExitsWithError) {
+  const char* argv[] = {"prog", "--setps=50"};  // typo'd --steps
+  EXPECT_EXIT(
+      {
+        const auto cli = bench_util::Cli::parse_or_exit(
+            2, const_cast<char**>(argv), {"--steps", "--json"});
+        (void)cli;
+      },
+      testing::ExitedWithCode(2), "unknown flag '--setps'");
+}
+
+TEST(CliDeathTest, UnknownFlagListsAcceptedFlagsSorted) {
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_EXIT(
+      {
+        const auto cli = bench_util::Cli::parse_or_exit(
+            2, const_cast<char**>(argv), {"--steps", "--json"});
+        (void)cli;
+      },
+      testing::ExitedWithCode(2), "accepted flags: --json --steps");
+}
+
+TEST(CliDeathTest, PositionalArgumentExitsInsteadOfThrowing) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_EXIT(
+      {
+        const auto cli = bench_util::Cli::parse_or_exit(
+            2, const_cast<char**>(argv), {"--steps"});
+        (void)cli;
+      },
+      testing::ExitedWithCode(2), "unexpected positional argument: stray");
+}
+
 // --- FilterConfig ---------------------------------------------------------------
 
 TEST(FilterConfig, Table2Defaults) {

@@ -1,0 +1,146 @@
+// Deterministic work counters: the work.* counters are machine-independent
+// cost proxies, so two same-seed runs must agree exactly - including runs
+// with different emulator worker counts, where wall-clock and pool gauges
+// legitimately differ but the algorithmic work cannot.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/centralized_pf.hpp"
+#include "core/distributed_pf.hpp"
+#include "models/robot_arm.hpp"
+#include "sim/ground_truth.hpp"
+#include "sortnet/bitonic.hpp"
+#include "sortnet/scan.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace esthera;
+
+const char* const kWorkCounters[] = {
+    "work.barriers", "work.lockstep_phases", "work.compare_exchanges",
+    "work.scan_sweeps", "work.rng_draws"};
+
+core::FilterConfig base_config(std::size_t workers) {
+  core::FilterConfig cfg;
+  cfg.particles_per_filter = 32;
+  cfg.num_filters = 16;
+  cfg.workers = workers;
+  cfg.seed = 9;
+  return cfg;
+}
+
+/// Runs `steps` filter updates and returns the final work.* counter values.
+std::vector<std::uint64_t> run_distributed(const core::FilterConfig& cfg,
+                                           int steps) {
+  telemetry::Telemetry tel;
+  core::FilterConfig run_cfg = cfg;
+  run_cfg.telemetry = &tel;
+  sim::RobotArmScenario scenario;
+  scenario.reset(2);
+  core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+      scenario.make_model<float>(), run_cfg);
+  std::vector<float> z, u;
+  for (int k = 0; k < steps; ++k) {
+    const auto step = scenario.advance();
+    z.assign(step.z.begin(), step.z.end());
+    u.assign(step.u.begin(), step.u.end());
+    pf.step(z, u);
+  }
+  std::vector<std::uint64_t> out;
+  for (const char* name : kWorkCounters) {
+    out.push_back(tel.registry.counter(name).value());
+  }
+  return out;
+}
+
+TEST(WorkCounters, SortAndScanTalliesMatchClosedForms) {
+  // Bitonic network on n elements: log2(n)*(log2(n)+1)/2 phases, n/2
+  // compare-exchange lanes per phase.
+  std::vector<float> keys(16);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<float>((i * 7) % 16);
+  }
+  sortnet::NetCounters nc;
+  sortnet::bitonic_sort(std::span<float>(keys), std::less<float>{}, &nc);
+  EXPECT_EQ(nc.lockstep_phases, 10u);      // 4*5/2
+  EXPECT_EQ(nc.compare_exchanges, 80u);    // 10 phases * 8 lanes
+  EXPECT_EQ(nc.scan_sweeps, 0u);
+
+  // Blelloch scan on n elements: log2(n) up-sweeps + log2(n) down-sweeps.
+  std::vector<float> data(32, 1.0f);
+  sortnet::NetCounters sc;
+  sortnet::blelloch_exclusive_scan(std::span<float>(data), &sc);
+  EXPECT_EQ(sc.scan_sweeps, 10u);  // 5 + 5
+}
+
+TEST(WorkCounters, DistributedCountsAreIdenticalAcrossSameSeedRuns) {
+  const auto a = run_distributed(base_config(2), 8);
+  const auto b = run_distributed(base_config(2), 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << kWorkCounters[i];
+    EXPECT_GT(a[i], 0u) << kWorkCounters[i] << " never incremented";
+  }
+}
+
+TEST(WorkCounters, DistributedCountsAreIndependentOfWorkerCount) {
+  const auto serial = run_distributed(base_config(1), 8);
+  const auto two = run_distributed(base_config(2), 8);
+  const auto four = run_distributed(base_config(4), 8);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], two[i]) << kWorkCounters[i];
+    EXPECT_EQ(serial[i], four[i]) << kWorkCounters[i];
+  }
+}
+
+TEST(WorkCounters, DistributedCountsScaleWithSteps) {
+  // Work accrues only in step(): twice the steps, twice the step work.
+  const auto four = run_distributed(base_config(2), 4);
+  const auto eight = run_distributed(base_config(2), 8);
+  for (std::size_t i = 0; i < four.size(); ++i) {
+    EXPECT_EQ(eight[i], 2 * four[i]) << kWorkCounters[i];
+  }
+}
+
+std::vector<std::uint64_t> run_centralized(std::size_t n, int steps,
+                                           std::size_t move_steps) {
+  telemetry::Telemetry tel;
+  core::CentralizedOptions opts;
+  opts.seed = 21;
+  opts.move_steps = move_steps;
+  opts.telemetry = &tel;
+  sim::RobotArmScenario scenario;
+  scenario.reset(3);
+  core::CentralizedParticleFilter<models::RobotArmModel<double>> pf(
+      scenario.make_model<double>(), n, opts);
+  for (int k = 0; k < steps; ++k) {
+    const auto step = scenario.advance();
+    pf.step(step.z, step.u);
+  }
+  return {tel.registry.counter("work.rng_draws").value(),
+          tel.registry.counter("work.scan_sweeps").value()};
+}
+
+TEST(WorkCounters, CentralizedCountsAreIdenticalAcrossSameSeedRuns) {
+  const auto a = run_centralized(128, 6, 1);
+  const auto b = run_centralized(128, 6, 1);
+  EXPECT_EQ(a[0], b[0]) << "work.rng_draws";
+  EXPECT_EQ(a[1], b[1]) << "work.scan_sweeps";
+  EXPECT_GT(a[0], 0u);
+}
+
+TEST(WorkCounters, CentralizedRngDrawsCoverSamplingPerStep) {
+  // Every step draws at least noise_dim normals per particle plus the
+  // resampling-policy coin; Vose consumes 2n uniforms when it resamples.
+  const models::RobotArmModel<double> model =
+      sim::RobotArmScenario().make_model<double>();
+  const auto counts = run_centralized(128, 6, 0);
+  const std::uint64_t floor = 6ull * (128ull * model.noise_dim() + 1ull);
+  EXPECT_GE(counts[0], floor);
+}
+
+}  // namespace
