@@ -39,9 +39,36 @@ namespace esthera::bench {
 inline std::vector<std::string> standard_flags(std::vector<std::string> extras = {}) {
   std::vector<std::string> flags = {"--full",         "--json",
                                     "--trace",        "--series-jsonl",
-                                    "--series-csv",   "--telemetry"};
+                                    "--series-csv",   "--telemetry",
+                                    "--workers"};
   flags.insert(flags.end(), extras.begin(), extras.end());
   return flags;
+}
+
+/// Applies the --workers override before any pool exists: takes precedence
+/// over ESTHERA_WORKERS, same grammar (fully numeric, in
+/// [1, ThreadPool::kMaxWorkers]) -- but a flag typo exits 2 instead of
+/// silently falling back the way a malformed environment variable does.
+/// The resolved count lands in the report's "build" stamp as usual. The
+/// Report constructor calls this, so Report-owning benches get it for free.
+inline void apply_workers_flag(const bench_util::Cli& cli) {
+  if (!cli.has("--workers")) return;
+  const std::string v = cli.get("--workers", "");
+  bool numeric = !v.empty();
+  for (const char c : v) numeric = numeric && c >= '0' && c <= '9';
+  long parsed = 0;
+  if (numeric) {
+    errno = 0;
+    char* end = nullptr;
+    parsed = std::strtol(v.c_str(), &end, 10);
+    numeric = errno == 0 && end == v.c_str() + v.size();
+  }
+  if (!numeric || parsed < 1 || parsed > mcore::ThreadPool::kMaxWorkers) {
+    std::cerr << "error: --workers expects an integer in [1, "
+              << mcore::ThreadPool::kMaxWorkers << "], got '" << v << "'\n";
+    std::exit(2);
+  }
+  mcore::ThreadPool::set_default_worker_count(static_cast<std::size_t>(parsed));
 }
 
 /// The flags Protocol::from_cli reads, plus bench-specific extras; nest
@@ -206,6 +233,8 @@ inline void print_header(const char* figure, const char* description) {
 ///   --series-csv <path>    per-step series as CSV
 ///   --telemetry            attach telemetry without exporting (breakdowns
 ///                          and counters still accumulate)
+///   --workers N            worker-thread override (precedence over
+///                          ESTHERA_WORKERS; recorded in the build stamp)
 /// Telemetry is attached when any flag above is present, or by default in
 /// -DESTHERA_TELEMETRY builds; telemetry() returns null otherwise, so the
 /// filters keep their zero-cost path.
@@ -219,6 +248,7 @@ class Report {
         trace_path_(cli.get("--trace", "")),
         jsonl_path_(cli.get("--series-jsonl", "")),
         csv_path_(cli.get("--series-csv", "")) {
+    apply_workers_flag(cli);
     if (telemetry::kTelemetryBuild || cli.has("--telemetry") ||
         !json_path_.empty() || !trace_path_.empty() || !jsonl_path_.empty() ||
         !csv_path_.empty()) {

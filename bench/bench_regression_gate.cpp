@@ -7,11 +7,13 @@
 // stage histograms still carry latencies, but only their invocation
 // counts are compared. CI runs this per PR and diffs the output against
 // the checked-in BENCH_BASELINE.json.
+#include <cmath>
 #include <cstddef>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "serve/session_manager.hpp"
 
 namespace {
 
@@ -88,6 +90,88 @@ int main(int argc, char** argv) {
     report.add_value("rmse_centralized_vose", rmse_central);
     table.add_row(
         {"centralized n=256 Vose", bench_util::Table::num(rmse_central, 4)});
+  }
+
+  // Serving runtime: a closed-loop, fixed submit pattern through the
+  // SessionManager -- deliberate per-session saturation (deterministic
+  // admission rejects), batched EDF scheduling, and a mid-run
+  // evict/restore cycle. Every gated quantity (serve.* counters, the
+  // histogram invocation counts, and the estimate checksum below) is
+  // machine-independent; request latency values are not compared.
+  {
+    serve::ServeConfig scfg;
+    scfg.workers = 1;  // single-writer stage histograms share the registry
+    scfg.max_queue = 8;
+    scfg.max_pending_per_session = 2;
+    scfg.max_batch = 3;
+    scfg.telemetry = report.telemetry();
+    serve::SessionManager<models::RobotArmModel<float>> mgr(scfg);
+
+    constexpr std::size_t kSessions = 3;
+    constexpr std::size_t kRounds = 10;
+    std::vector<sim::RobotArmScenario> scenarios(kSessions);
+    std::vector<std::uint64_t> ids;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      scenarios[s].reset(300 + s);
+      core::FilterConfig fcfg;
+      fcfg.particles_per_filter = 32;
+      fcfg.num_filters = 8;
+      fcfg.seed = 77 + s;
+      fcfg.telemetry = report.telemetry();
+      const auto opened = mgr.open_session(scenarios[s].make_model<float>(), fcfg);
+      if (!opened.ok()) {
+        std::cerr << "error: serve gate open_session: "
+                  << serve::to_string(opened.admission) << '\n';
+        return 1;
+      }
+      ids.push_back(opened.id);
+    }
+
+    std::uint64_t rejected = 0;
+    std::vector<float> z, u;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      for (std::size_t s = 0; s < kSessions; ++s) {
+        // Three submits against a per-session cap of two: the third is a
+        // deterministic backlog rejection every round.
+        for (int burst = 0; burst < 3; ++burst) {
+          const auto step = scenarios[s].advance();
+          z.assign(step.z.begin(), step.z.end());
+          u.assign(step.u.begin(), step.u.end());
+          const auto verdict =
+              mgr.submit(ids[s], z, u, static_cast<double>(round));
+          if (!verdict.ok()) ++rejected;
+        }
+      }
+      while (mgr.run_batch().dispatched > 0) {
+      }
+      if (round == kRounds / 2) {
+        const auto blob = mgr.evict(ids[1]);
+        if (!blob) return 1;
+        scenarios[1].reset(301);
+        core::FilterConfig fcfg;
+        fcfg.particles_per_filter = 32;
+        fcfg.num_filters = 8;
+        fcfg.seed = 78;
+        fcfg.telemetry = report.telemetry();
+        const auto restored =
+            mgr.restore_session(scenarios[1].make_model<float>(), fcfg, *blob);
+        if (!restored.ok()) return 1;
+        ids[1] = restored.id;
+      }
+    }
+    mgr.drain();
+
+    // Deterministic up to libm, like the RMSE values: the summed absolute
+    // final estimates across sessions.
+    double estimate_l1 = 0.0;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const auto est = *mgr.estimate(ids[s]);
+      for (const float v : est) estimate_l1 += std::abs(static_cast<double>(v));
+    }
+    report.add_value("serve_rejected", static_cast<double>(rejected));
+    report.add_value("serve_estimate_l1", estimate_l1);
+    table.add_row({"serve 3 sessions 10 rounds (L1)",
+                   bench_util::Table::num(estimate_l1, 4)});
   }
 
   table.print(std::cout);

@@ -1,0 +1,152 @@
+// Serving-runtime throughput: N independent robot-arm tracking sessions
+// behind one SessionManager, driven by an open-loop arrival schedule (the
+// submit side never waits for completions, like real ingress traffic).
+// Arrivals past the admission bounds are rejected with a structured
+// reason and counted -- an open-loop client loses those samples, it does
+// not retry. The report carries end-to-end request latency quantiles
+// (serve.request.latency), the batch-size histogram, and the
+// serve.rejected.* counters via the standard telemetry snapshot.
+//
+//   --sessions S   concurrent tracking sessions (default 8, --full 32)
+//   --requests K   observe() requests per session (default 100, --full 500)
+//   --rate R       total arrival rate in requests/second across sessions;
+//                  0 (default) = unthrottled, every request arrives at t=0,
+//                  deliberately saturating admission control
+//   --max-batch B  scheduler batch capacity (default 16)
+//   --max-queue Q  global admission bound (default 256)
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/session_manager.hpp"
+
+namespace {
+
+using namespace esthera;
+using Clock = std::chrono::steady_clock;
+
+struct SessionTraffic {
+  std::vector<std::vector<float>> z;
+  std::vector<std::vector<float>> u;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv,
+      bench::standard_flags(
+          {"--sessions", "--requests", "--rate", "--max-batch", "--max-queue"}));
+  bench::Report report(
+      cli, "Serving throughput",
+      "Open-loop multi-tenant serving: independent tracking sessions behind "
+      "one SessionManager; latency quantiles and admission rejects in the "
+      "telemetry snapshot.");
+  report.print_header();
+
+  const std::size_t sessions = cli.get_size("--sessions", cli.full_scale() ? 32 : 8);
+  const std::size_t requests = cli.get_size("--requests", cli.full_scale() ? 500 : 100);
+  const double rate = cli.get_double("--rate", 0.0);
+
+  serve::ServeConfig scfg;
+  scfg.max_batch = cli.get_size("--max-batch", 16);
+  scfg.max_queue = cli.get_size("--max-queue", 256);
+  scfg.max_pending_per_session = 8;
+  scfg.telemetry = report.telemetry();
+  serve::SessionManager<models::RobotArmModel<float>> mgr(scfg);
+
+  // Stage histograms are single-writer, so sessions share the report's
+  // telemetry only when batches execute on a single worker.
+  telemetry::Telemetry* session_tel =
+      mgr.worker_count() == 1 ? report.telemetry() : nullptr;
+
+  // Pre-generate each session's observation stream so the measured loop is
+  // submit + schedule + step, nothing else.
+  std::vector<SessionTraffic> traffic(sessions);
+  std::vector<serve::SessionManager<models::RobotArmModel<float>>::SessionId> ids;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    sim::RobotArmScenario scenario;
+    scenario.reset(1000 + s);
+    core::FilterConfig fcfg;
+    fcfg.particles_per_filter = 32;
+    fcfg.num_filters = 8;
+    fcfg.seed = 100 + s;
+    fcfg.telemetry = session_tel;
+    const auto opened = mgr.open_session(scenario.make_model<float>(), fcfg);
+    if (!opened.ok()) {
+      std::cerr << "error: open_session: " << serve::to_string(opened.admission)
+                << '\n';
+      return 1;
+    }
+    ids.push_back(opened.id);
+    traffic[s].z.reserve(requests);
+    traffic[s].u.reserve(requests);
+    for (std::size_t k = 0; k < requests; ++k) {
+      const auto step = scenario.advance();
+      traffic[s].z.emplace_back(step.z.begin(), step.z.end());
+      traffic[s].u.emplace_back(step.u.begin(), step.u.end());
+    }
+  }
+
+  // Open-loop schedule: request k of session s arrives at global index
+  // k*sessions + s, spaced 1/rate seconds apart (all at t=0 when
+  // unthrottled). The deadline is the arrival time, so EDF serves the
+  // oldest traffic first.
+  const std::size_t total = sessions * requests;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+  std::size_t next = 0;
+  const auto t0 = Clock::now();
+  while (next < total || mgr.queue_depth() > 0) {
+    const double now = std::chrono::duration<double>(Clock::now() - t0).count();
+    while (next < total) {
+      const double at = rate > 0.0 ? static_cast<double>(next) / rate : 0.0;
+      if (at > now) break;
+      const std::size_t s = next % sessions;
+      const std::size_t k = next / sessions;
+      const auto verdict = mgr.submit(ids[s], traffic[s].z[k], traffic[s].u[k], at);
+      verdict.ok() ? ++accepted : ++rejected;
+      ++next;
+    }
+    const auto stats = mgr.run_batch();
+    if (stats.dispatched > 0) {
+      ++batches;
+    } else if (next < total) {
+      // Ahead of the arrival schedule: yield until the next request is due.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  mgr.drain();
+
+  const double throughput = wall > 0.0 ? static_cast<double>(accepted) / wall : 0.0;
+  report.add_value("sessions", static_cast<double>(sessions));
+  report.add_value("requests_total", static_cast<double>(total));
+  report.add_value("requests_accepted", static_cast<double>(accepted));
+  report.add_value("requests_rejected", static_cast<double>(rejected));
+  report.add_value("batches", static_cast<double>(batches));
+  report.add_value("wall_seconds", wall);
+  report.add_value("throughput_hz", throughput);
+
+  bench_util::Table table({"quantity", "value"});
+  table.add_row({"sessions", bench_util::Table::num(sessions)});
+  table.add_row(
+      {"requests accepted", bench_util::Table::num(static_cast<std::size_t>(accepted))});
+  table.add_row(
+      {"requests rejected", bench_util::Table::num(static_cast<std::size_t>(rejected))});
+  table.add_row({"batches", bench_util::Table::num(static_cast<std::size_t>(batches))});
+  table.add_row({"throughput (req/s)", bench_util::Table::num(throughput, 1)});
+  table.print(std::cout);
+  report.add_table("serve", table);
+  std::cout << '\n';
+
+  if (report.telemetry() == nullptr) {
+    std::cerr << "warning: no telemetry attached (pass --json or --telemetry); "
+                 "the report will carry no serve.* metrics\n";
+  }
+  return report.write();
+}

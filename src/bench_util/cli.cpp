@@ -50,6 +50,14 @@ Cli Cli::parse_or_exit(int argc, char** argv, std::vector<std::string> accepted)
   const std::string program = argc > 0 ? argv[0] : "";
   try {
     Cli cli(argc, argv);
+    if (cli.has("--help")) {
+      std::cout << (program.empty() ? "bench" : program) << '\n';
+      std::sort(accepted.begin(), accepted.end());
+      std::cout << "accepted flags: --help";
+      for (const auto& f : accepted) std::cout << ' ' << f;
+      std::cout << '\n';
+      std::exit(0);
+    }
     for (const auto& o : cli.options_) {
       if (std::find(accepted.begin(), accepted.end(), o.name) == accepted.end()) {
         usage_error(program, "unknown flag '" + o.name + "'", std::move(accepted));

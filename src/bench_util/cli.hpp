@@ -22,7 +22,8 @@ class Cli {
   /// Parses argv and rejects any flag not in `accepted`: prints the
   /// offending flag plus the sorted accepted-flag list to stderr and
   /// exits with status 2. Positional arguments get the same treatment
-  /// instead of an exception.
+  /// instead of an exception. `--help` is always accepted: it prints the
+  /// program name and the sorted accepted-flag list to stdout and exits 0.
   [[nodiscard]] static Cli parse_or_exit(int argc, char** argv,
                                          std::vector<std::string> accepted);
 

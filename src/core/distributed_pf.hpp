@@ -25,9 +25,12 @@
 #include <memory>
 #include <numeric>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/filter_state.hpp"
 #include "core/particle_store.hpp"
 #include "core/stage_timers.hpp"
 #include "device/device.hpp"
@@ -158,6 +161,69 @@ class DistributedParticleFilter {
         debug::check_log_weights<T>(cur_.log_weights(g * m_, m_), "initialize", g);
       }
     }
+  }
+
+  /// Captures the filter's complete trajectory-determining state: particle
+  /// states and log-weights, the per-group PRNG stream position, the step
+  /// index, and the last published estimate. Const and purely observational
+  /// (no RNG consumed, no state touched): stepping after an export is
+  /// bit-identical to never having exported. See core/filter_state.hpp.
+  [[nodiscard]] FilterState<T> export_state() const {
+    FilterState<T> s;
+    s.step = step_;
+    s.particles_per_filter = m_;
+    s.num_filters = n_filters_;
+    s.state_dim = dim_;
+    s.rng = stream_.save_state();
+    const auto states = cur_.state_block(0, n_total_);
+    s.state.assign(states.begin(), states.end());
+    const auto lw = cur_.log_weights();
+    s.log_weights.assign(lw.begin(), lw.end());
+    s.estimate.assign(estimate_.begin(), estimate_.end());
+    s.estimate_log_weight = estimate_lw_;
+    return s;
+  }
+
+  /// Restores a snapshot from export_state() into this filter: the next
+  /// step() produces bit-identical results to the filter the snapshot was
+  /// taken from. The receiving filter must have the same shape (m, N,
+  /// state_dim) and PRNG core; throws std::invalid_argument otherwise.
+  /// Diagnostics (mean_ess() etc.) and stage timers reset, exactly as
+  /// after initialize().
+  void import_state(const FilterState<T>& s) {
+    if (s.particles_per_filter != m_ || s.num_filters != n_filters_ ||
+        s.state_dim != dim_) {
+      throw std::invalid_argument(
+          "import_state: snapshot shape (m=" +
+          std::to_string(s.particles_per_filter) +
+          ", N=" + std::to_string(s.num_filters) +
+          ", dim=" + std::to_string(s.state_dim) + ") does not match filter (m=" +
+          std::to_string(m_) + ", N=" + std::to_string(n_filters_) +
+          ", dim=" + std::to_string(dim_) + ")");
+    }
+    if (s.state.size() != n_total_ * dim_ || s.log_weights.size() != n_total_ ||
+        s.estimate.size() != dim_) {
+      throw std::invalid_argument("import_state: snapshot array sizes do not "
+                                  "match the declared shape");
+    }
+    stream_.restore_state(s.rng);  // validates group count + generator core
+    std::copy(s.state.begin(), s.state.end(), cur_.state_block(0, n_total_).begin());
+    std::copy(s.log_weights.begin(), s.log_weights.end(),
+              cur_.log_weights().begin());
+    estimate_.assign(s.estimate.begin(), s.estimate.end());
+    estimate_lw_ = s.estimate_log_weight;
+    step_ = static_cast<std::size_t>(s.step);
+    // Per-round diagnostics belong to the snapshot's previous round, which
+    // was not replayed here; reset them like initialize() does.
+    ess_sum_ = 0.0;
+    unique_sum_ = 0.0;
+    timers_.reset();
+    std::fill(resampled_flags_.begin(), resampled_flags_.end(), std::uint8_t{0});
+    std::fill(group_ess_.begin(), group_ess_.end(), 0.0);
+    std::fill(group_unique_.begin(), group_unique_.end(), 1.0);
+    std::fill(group_entropy_.begin(), group_entropy_.end(), 0.0);
+    std::fill(group_degenerate_.begin(), group_degenerate_.end(), std::uint8_t{0});
+    std::fill(group_nonfinite_.begin(), group_nonfinite_.end(), std::uint64_t{0});
   }
 
   /// One filtering round (Algorithm 2) on measurement `z`, control `u`.

@@ -1,0 +1,38 @@
+// FilterState: the complete, deep-copyable snapshot of a particle filter's
+// trajectory-determining state. Everything a DistributedParticleFilter
+// computes in a step() is a pure function of (config, model, this state),
+// so export_state() -> import_state() round-trips are bit-identical: a
+// restored filter produces exactly the estimate sequence the original
+// would have. The serving layer (esthera::serve) serializes this snapshot
+// into versioned checkpoint blobs for session eviction and crash recovery.
+//
+// Model parameters are NOT captured: the model is supplied again at
+// restore time (models are arbitrary user types; time-varying model state
+// mutated via model_mutable() must be re-applied by the caller).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prng/mtgp_stream.hpp"
+
+namespace esthera::core {
+
+/// Snapshot of a distributed filter's dynamic state. The shape fields
+/// (particles_per_filter, num_filters, state_dim) identify the
+/// configuration the snapshot came from; import_state() refuses a
+/// snapshot whose shape does not match the receiving filter.
+template <typename T>
+struct FilterState {
+  std::uint64_t step = 0;                 ///< completed filtering rounds
+  std::uint64_t particles_per_filter = 0; ///< m of the source filter
+  std::uint64_t num_filters = 0;          ///< N of the source filter
+  std::uint64_t state_dim = 0;            ///< model state dimension
+  prng::MtgpStreamState rng;              ///< per-group PRNG stream position
+  std::vector<T> state;                   ///< particle states, AoS, N*m*dim
+  std::vector<T> log_weights;             ///< per-particle log-weights, N*m
+  std::vector<T> estimate;                ///< last published estimate, dim
+  T estimate_log_weight = T(0);           ///< log-weight of that estimate
+};
+
+}  // namespace esthera::core

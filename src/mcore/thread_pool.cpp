@@ -91,7 +91,22 @@ void ThreadPool::run(std::size_t n,
   }
 }
 
+namespace {
+std::atomic<std::size_t> g_worker_override{0};  // 0 = no override
+}  // namespace
+
+void ThreadPool::set_default_worker_count(std::size_t workers) {
+  if (workers > static_cast<std::size_t>(kMaxWorkers)) {
+    workers = static_cast<std::size_t>(kMaxWorkers);
+  }
+  g_worker_override.store(workers, std::memory_order_relaxed);
+}
+
 std::size_t ThreadPool::default_worker_count() {
+  if (const std::size_t forced = g_worker_override.load(std::memory_order_relaxed);
+      forced != 0) {
+    return forced;
+  }
   if (const char* env = std::getenv("ESTHERA_WORKERS")) {
     // Accept only a fully numeric positive value; anything else ("", "abc",
     // "12abc", "0x4", "-3", "0", or an absurdly large number) falls back to

@@ -70,10 +70,16 @@ class ThreadPool {
   /// malformed value) fall back to hardware_concurrency().
   static constexpr long kMaxWorkers = 1024;
 
-  /// Convenience: pick a worker count from the ESTHERA_WORKERS environment
-  /// variable, falling back to std::thread::hardware_concurrency(). Only a
-  /// fully numeric value in [1, kMaxWorkers] is honoured.
+  /// Convenience: pick a worker count, in precedence order: the
+  /// set_default_worker_count() process-wide override, the ESTHERA_WORKERS
+  /// environment variable (only a fully numeric value in [1, kMaxWorkers]
+  /// is honoured), then std::thread::hardware_concurrency().
   static std::size_t default_worker_count();
+
+  /// Process-wide override for default_worker_count(), taking precedence
+  /// over ESTHERA_WORKERS -- this is what the bench harness's --workers
+  /// flag sets. Accepts [1, kMaxWorkers]; 0 clears the override.
+  static void set_default_worker_count(std::size_t workers);
 
  private:
   struct Job {

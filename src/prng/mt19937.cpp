@@ -1,5 +1,9 @@
 #include "prng/mt19937.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 namespace esthera::prng {
 
 void Mt19937::reseed(std::uint32_t seed) {
@@ -34,6 +38,20 @@ std::uint32_t Mt19937::operator()() {
 
 void Mt19937::discard(unsigned long long n) {
   for (unsigned long long i = 0; i < n; ++i) (*this)();
+}
+
+void Mt19937::set_state(std::span<const std::uint32_t> words, std::uint32_t index) {
+  if (words.size() != kStateWords) {
+    throw std::invalid_argument("Mt19937::set_state: expected " +
+                                std::to_string(kStateWords) + " words, got " +
+                                std::to_string(words.size()));
+  }
+  if (index > kStateWords) {
+    throw std::invalid_argument("Mt19937::set_state: index " +
+                                std::to_string(index) + " out of range");
+  }
+  std::copy(words.begin(), words.end(), state_.begin());
+  index_ = static_cast<int>(index);
 }
 
 }  // namespace esthera::prng

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 namespace esthera::prng {
 
@@ -34,6 +35,23 @@ class Mt19937 {
 
   static constexpr std::uint32_t min() { return 0; }
   static constexpr std::uint32_t max() { return 0xffffffffu; }
+
+  /// Number of 32-bit words in the raw generator state.
+  static constexpr std::size_t kStateWords = 624;
+
+  /// Raw state export for checkpointing: the 624 state words. Together
+  /// with state_index() this captures the generator exactly; restoring
+  /// both reproduces the output sequence bit-for-bit.
+  [[nodiscard]] std::span<const std::uint32_t> state_words() const {
+    return state_;
+  }
+  /// Position within the current state block, in [0, kStateWords].
+  [[nodiscard]] std::uint32_t state_index() const {
+    return static_cast<std::uint32_t>(index_);
+  }
+  /// Restores a state previously captured via state_words()/state_index().
+  /// Throws std::invalid_argument on a wrong word count or index.
+  void set_state(std::span<const std::uint32_t> words, std::uint32_t index);
 
  private:
   static constexpr int kN = 624;

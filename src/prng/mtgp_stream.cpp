@@ -1,5 +1,8 @@
 #include "prng/mtgp_stream.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace esthera::prng {
 
 MtgpStream::MtgpStream(std::size_t groups, std::uint64_t seed, Generator generator)
@@ -51,6 +54,52 @@ void MtgpStream::fill(mcore::ThreadPool& pool, RandomBuffer<float>& buf) {
 
 void MtgpStream::fill(mcore::ThreadPool& pool, RandomBuffer<double>& buf) {
   fill_impl(pool, buf);
+}
+
+MtgpStreamState MtgpStream::save_state() const {
+  MtgpStreamState s;
+  s.generator = generator_;
+  s.groups = group_count();
+  s.round = round_;
+  if (generator_ == Generator::kMtgp) {
+    s.mt_words.reserve(mt_.size() * (Mt19937::kStateWords + 1));
+    for (const Mt19937& gen : mt_) {
+      const auto words = gen.state_words();
+      s.mt_words.insert(s.mt_words.end(), words.begin(), words.end());
+      s.mt_words.push_back(gen.state_index());
+    }
+  }
+  return s;
+}
+
+void MtgpStream::restore_state(const MtgpStreamState& state) {
+  if (state.generator != generator_) {
+    throw std::invalid_argument(
+        "MtgpStream::restore_state: generator core mismatch");
+  }
+  if (state.groups != group_count()) {
+    throw std::invalid_argument("MtgpStream::restore_state: snapshot has " +
+                                std::to_string(state.groups) +
+                                " groups, stream has " +
+                                std::to_string(group_count()));
+  }
+  constexpr std::size_t kPerGroup = Mt19937::kStateWords + 1;
+  if (generator_ == Generator::kMtgp) {
+    if (state.mt_words.size() != mt_.size() * kPerGroup) {
+      throw std::invalid_argument(
+          "MtgpStream::restore_state: snapshot word count " +
+          std::to_string(state.mt_words.size()) + " does not match " +
+          std::to_string(mt_.size() * kPerGroup));
+    }
+    for (std::size_t g = 0; g < mt_.size(); ++g) {
+      const std::uint32_t* base = state.mt_words.data() + g * kPerGroup;
+      mt_[g].set_state({base, Mt19937::kStateWords}, base[Mt19937::kStateWords]);
+    }
+  } else if (!state.mt_words.empty()) {
+    throw std::invalid_argument(
+        "MtgpStream::restore_state: Philox snapshot carries MT words");
+  }
+  round_ = state.round;
 }
 
 }  // namespace esthera::prng

@@ -61,6 +61,18 @@ struct RandomBuffer {
 /// Which generator core backs the per-group streams.
 enum class Generator { kMtgp, kPhilox };
 
+/// Serializable snapshot of an MtgpStream: enough to resume the per-group
+/// variate sequences bit-exactly. `mt_words` holds, per group, the raw
+/// Mt19937 state (Mt19937::kStateWords words) followed by one index word;
+/// it is empty for the stateless Philox core, whose position is fully
+/// captured by `round`.
+struct MtgpStreamState {
+  Generator generator = Generator::kMtgp;
+  std::uint64_t groups = 0;
+  std::uint64_t round = 0;
+  std::vector<std::uint32_t> mt_words;
+};
+
 /// A set of `groups` independent generator states, fillable in parallel.
 ///
 /// Filling is deterministic per (seed, group, round) regardless of the
@@ -78,6 +90,16 @@ class MtgpStream {
   /// distributing groups over `pool`.
   void fill(mcore::ThreadPool& pool, RandomBuffer<float>& buf);
   void fill(mcore::ThreadPool& pool, RandomBuffer<double>& buf);
+
+  /// Captures the full stream position (checkpointing); restoring the
+  /// snapshot into a stream constructed with the same group count and
+  /// generator core resumes the variate sequences bit-exactly.
+  [[nodiscard]] MtgpStreamState save_state() const;
+
+  /// Restores a snapshot from save_state(). Throws std::invalid_argument
+  /// when the snapshot's generator core, group count, or word count does
+  /// not match this stream.
+  void restore_state(const MtgpStreamState& state);
 
  private:
   template <typename T>

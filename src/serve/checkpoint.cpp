@@ -1,0 +1,224 @@
+#include "serve/checkpoint.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace esthera::serve {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'E', 'S', 'C', 'P'};
+constexpr std::size_t kFixedHeaderBytes = 4 + 4 + 4 + 4 + 6 * 8;
+constexpr std::size_t kChecksumBytes = 8;
+
+/// FNV-1a 64-bit over a byte range: tiny, dependency-free, and plenty to
+/// catch the truncation/bit-rot failure modes checkpoints face (this is an
+/// integrity check, not an authenticity one).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Append-only little-endian byte writer.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian reader; every overrun is a CheckpointError
+/// naming the field it was reading, so truncated blobs fail loudly.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> blob) : blob_(blob) {}
+
+  void bytes(void* p, std::size_t n, const char* field) {
+    need(n, field);
+    std::memcpy(p, blob_.data() + pos_, n);
+    pos_ += n;
+  }
+  [[nodiscard]] std::uint32_t u32(const char* field) {
+    need(4, field);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(blob_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64(const char* field) {
+    need(8, field);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(blob_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return blob_.size() - pos_; }
+
+ private:
+  void need(std::size_t n, const char* field) {
+    if (blob_.size() - pos_ < n) {
+      throw CheckpointError("checkpoint truncated while reading " +
+                            std::string(field) + " (need " + std::to_string(n) +
+                            " bytes at offset " + std::to_string(pos_) +
+                            ", blob has " + std::to_string(blob_.size()) + ")");
+    }
+  }
+
+  std::span<const std::uint8_t> blob_;
+  std::size_t pos_ = 0;
+};
+
+std::uint32_t generator_code(prng::Generator g) {
+  return g == prng::Generator::kMtgp ? 0u : 1u;
+}
+
+prng::Generator generator_from_code(std::uint32_t code) {
+  switch (code) {
+    case 0u:
+      return prng::Generator::kMtgp;
+    case 1u:
+      return prng::Generator::kPhilox;
+    default:
+      throw CheckpointError("checkpoint carries unknown generator code " +
+                            std::to_string(code));
+  }
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<std::uint8_t> encode_checkpoint(const core::FilterState<T>& state) {
+  std::vector<std::uint8_t> out;
+  const std::size_t scalars = state.state.size() + state.log_weights.size() +
+                              state.estimate.size() + 1;
+  out.reserve(kFixedHeaderBytes + state.rng.mt_words.size() * 4 +
+              scalars * sizeof(T) + kChecksumBytes);
+  Writer w(out);
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u32(kCheckpointVersion);
+  w.u32(static_cast<std::uint32_t>(sizeof(T)));
+  w.u32(generator_code(state.rng.generator));
+  w.u64(state.particles_per_filter);
+  w.u64(state.num_filters);
+  w.u64(state.state_dim);
+  w.u64(state.step);
+  w.u64(state.rng.round);
+  w.u64(state.rng.mt_words.size());
+  for (const std::uint32_t word : state.rng.mt_words) w.u32(word);
+  w.bytes(state.state.data(), state.state.size() * sizeof(T));
+  w.bytes(state.log_weights.data(), state.log_weights.size() * sizeof(T));
+  w.bytes(state.estimate.data(), state.estimate.size() * sizeof(T));
+  w.bytes(&state.estimate_log_weight, sizeof(T));
+  w.u64(fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+std::uint32_t checkpoint_version(std::span<const std::uint8_t> blob) {
+  Reader r(blob);
+  std::uint8_t magic[4];
+  r.bytes(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw CheckpointError("not a checkpoint blob (bad magic)");
+  }
+  return r.u32("version");
+}
+
+template <typename T>
+core::FilterState<T> decode_checkpoint(std::span<const std::uint8_t> blob) {
+  // Checksum first: a blob that fails it is corrupt, and any field-level
+  // error message would be describing garbage.
+  if (blob.size() < kFixedHeaderBytes + kChecksumBytes) {
+    throw CheckpointError("checkpoint truncated: " + std::to_string(blob.size()) +
+                          " bytes is below the " +
+                          std::to_string(kFixedHeaderBytes + kChecksumBytes) +
+                          "-byte minimum");
+  }
+  const std::uint32_t version = checkpoint_version(blob);
+  if (version != kCheckpointVersion) {
+    throw CheckpointError("checkpoint format version " + std::to_string(version) +
+                          " is not supported (this build reads version " +
+                          std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::size_t payload = blob.size() - kChecksumBytes;
+  std::uint64_t stored = 0;
+  {
+    Reader tail(blob.subspan(payload));
+    stored = tail.u64("checksum");
+  }
+  const std::uint64_t computed = fnv1a64(blob.data(), payload);
+  if (stored != computed) {
+    throw CheckpointError("checkpoint checksum mismatch (blob is corrupt)");
+  }
+
+  Reader r(blob.first(payload));
+  std::uint8_t magic[4];
+  r.bytes(magic, sizeof(magic), "magic");
+  (void)r.u32("version");
+  const std::uint32_t scalar_bytes = r.u32("scalar width");
+  if (scalar_bytes != sizeof(T)) {
+    throw CheckpointError("checkpoint scalar width " +
+                          std::to_string(scalar_bytes) +
+                          " does not match requested scalar width " +
+                          std::to_string(sizeof(T)));
+  }
+  core::FilterState<T> s;
+  s.rng.generator = generator_from_code(r.u32("generator"));
+  s.particles_per_filter = r.u64("particles_per_filter");
+  s.num_filters = r.u64("num_filters");
+  s.state_dim = r.u64("state_dim");
+  s.step = r.u64("step");
+  s.rng.round = r.u64("rng round");
+  s.rng.groups = s.num_filters;
+  const std::uint64_t words = r.u64("rng word count");
+  // Extent sanity before any allocation: a corrupt length field must not
+  // turn into a huge allocation or a misleading later error.
+  if (words * 4 > r.remaining()) {
+    throw CheckpointError("checkpoint truncated: rng words extent overruns blob");
+  }
+  s.rng.mt_words.resize(static_cast<std::size_t>(words));
+  for (auto& word : s.rng.mt_words) word = r.u32("rng words");
+  const std::uint64_t n_total = s.particles_per_filter * s.num_filters;
+  const std::uint64_t scalars = n_total * s.state_dim + n_total + s.state_dim + 1;
+  if (scalars * sizeof(T) != r.remaining()) {
+    throw CheckpointError(
+        "checkpoint truncated or corrupt: particle payload is " +
+        std::to_string(r.remaining()) + " bytes, header declares " +
+        std::to_string(scalars * sizeof(T)));
+  }
+  s.state.resize(static_cast<std::size_t>(n_total * s.state_dim));
+  r.bytes(s.state.data(), s.state.size() * sizeof(T), "particle states");
+  s.log_weights.resize(static_cast<std::size_t>(n_total));
+  r.bytes(s.log_weights.data(), s.log_weights.size() * sizeof(T), "log-weights");
+  s.estimate.resize(static_cast<std::size_t>(s.state_dim));
+  r.bytes(s.estimate.data(), s.estimate.size() * sizeof(T), "estimate");
+  r.bytes(&s.estimate_log_weight, sizeof(T), "estimate log-weight");
+  return s;
+}
+
+template std::vector<std::uint8_t> encode_checkpoint<float>(
+    const core::FilterState<float>&);
+template std::vector<std::uint8_t> encode_checkpoint<double>(
+    const core::FilterState<double>&);
+template core::FilterState<float> decode_checkpoint<float>(
+    std::span<const std::uint8_t>);
+template core::FilterState<double> decode_checkpoint<double>(
+    std::span<const std::uint8_t>);
+
+}  // namespace esthera::serve

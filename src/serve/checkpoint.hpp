@@ -1,0 +1,68 @@
+// Versioned binary session checkpoints: FilterState<T> <-> byte blob.
+//
+// Layout (all integers little-endian; scalars are raw IEEE-754 bytes of T):
+//
+//   offset  size  field
+//   0       4     magic "ESCP"
+//   4       4     u32 format version (kCheckpointVersion)
+//   8       4     u32 sizeof(scalar)
+//   12      4     u32 generator core (0 = MTGP, 1 = Philox)
+//   16      8     u64 particles_per_filter (m)
+//   24      8     u64 num_filters (N)
+//   32      8     u64 state_dim
+//   40      8     u64 step index
+//   48      8     u64 rng round
+//   56      8     u64 rng word count W
+//   64      ...   W   u32 rng words (per group: 624 MT state words + index)
+//           ...       N*m*dim scalars: particle states (AoS)
+//           ...       N*m     scalars: log-weights
+//           ...       dim     scalars: estimate
+//           ...       1       scalar:  estimate log-weight
+//   end-8   8     u64 FNV-1a checksum over every preceding byte
+//
+// decode_checkpoint() refuses, with a CheckpointError naming the cause:
+// blobs shorter than the fixed header (truncated), wrong magic, a version
+// other than kCheckpointVersion (refusal, never a silent best-effort
+// parse), a scalar width not matching T, declared array extents that
+// overrun the blob (truncation/corruption), trailing garbage, and any
+// checksum mismatch (bit corruption). Restores are bit-identical:
+// encode(decode(b)) == b and a restored filter reproduces the source
+// filter's estimate trajectory exactly (test-enforced).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/filter_state.hpp"
+
+namespace esthera::serve {
+
+/// Current (and only) checkpoint format version.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Raised on any malformed, truncated, corrupt, or incompatible blob.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes a filter snapshot into a self-validating binary blob.
+template <typename T>
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(
+    const core::FilterState<T>& state);
+
+/// Parses a blob produced by encode_checkpoint<T>. Throws CheckpointError
+/// with a message naming the failure (truncation, bad magic, version
+/// mismatch, scalar-width mismatch, checksum mismatch, ...).
+template <typename T>
+[[nodiscard]] core::FilterState<T> decode_checkpoint(
+    std::span<const std::uint8_t> blob);
+
+/// Peeks the format version of a blob (for diagnostics); throws
+/// CheckpointError when the blob is too short to carry one or the magic
+/// is wrong.
+[[nodiscard]] std::uint32_t checkpoint_version(std::span<const std::uint8_t> blob);
+
+}  // namespace esthera::serve

@@ -1,0 +1,58 @@
+#include "serve/serve.hpp"
+
+#include <stdexcept>
+
+namespace esthera::serve {
+
+const char* to_string(Admission a) {
+  switch (a) {
+    case Admission::kAccepted:
+      return "accepted";
+    case Admission::kQueueFull:
+      return "queue_full";
+    case Admission::kSessionBacklog:
+      return "session_backlog";
+    case Admission::kUnknownSession:
+      return "unknown_session";
+    case Admission::kDraining:
+      return "draining";
+    case Admission::kSessionLimit:
+      return "session_limit";
+  }
+  return "?";
+}
+
+void ServeConfig::validate() const {
+  if (max_queue == 0) {
+    throw std::invalid_argument("ServeConfig: max_queue must be positive");
+  }
+  if (max_pending_per_session == 0 || max_pending_per_session > max_queue) {
+    throw std::invalid_argument(
+        "ServeConfig: max_pending_per_session must be in [1, max_queue]");
+  }
+  if (max_batch == 0) {
+    throw std::invalid_argument("ServeConfig: max_batch must be positive");
+  }
+  if (max_sessions == 0) {
+    throw std::invalid_argument("ServeConfig: max_sessions must be positive");
+  }
+}
+
+std::uint64_t step_cost_model(const core::FilterConfig& cfg,
+                              std::size_t state_dim) {
+  const std::uint64_t m = cfg.particles_per_filter;
+  const std::uint64_t n = cfg.num_filters;
+  const std::uint64_t dim = state_dim ? state_dim : 1;
+  std::uint64_t log2m = 0;
+  while ((std::uint64_t{1} << log2m) < m) ++log2m;
+  // Per group and per round: the bitonic network's compare-exchanges
+  // (log2(m)*(log2(m)+1)/2 phases of m/2 lanes), one transition draw plus
+  // two resampling uniforms per particle, and per-particle sampling work
+  // proportional to the state dimension.
+  const std::uint64_t sort_ce = (log2m * (log2m + 1) / 2) * (m / 2);
+  const std::uint64_t rng = m * (dim + 2) + 1;
+  const std::uint64_t sampling = m * dim;
+  return n * (sort_ce + rng + sampling);
+}
+
+}  // namespace esthera::serve

@@ -1,0 +1,85 @@
+// esthera::serve -- the multi-tenant filter serving runtime. The filters
+// under core/ are single-owner objects driven by one bench loop; this
+// layer is what the ROADMAP's "heavy traffic from millions of users"
+// north star needs on top of them: a SessionManager owns many independent
+// tracking sessions (each a DistributedParticleFilter with its own seed,
+// model parameters, and optional telemetry/monitor), a batching scheduler
+// coalesces pending observe(z, u) requests across sessions into bulk
+// steps dispatched over one shared mcore::ThreadPool, admission control
+// bounds the request queue and rejects with a structured reason instead
+// of blocking or dropping silently, and session checkpoint/restore
+// (serve/checkpoint.hpp) serializes a session to a versioned binary blob
+// so idle sessions can be evicted and crashed servers recovered.
+//
+// Scheduling is earliest-deadline-first within a batch window, load-aware
+// in the spirit of non-proportional allocation (see PAPERS.md): among
+// requests with equal deadlines the costliest session dispatches first
+// (longest-processing-time order), so the pool's dynamic chunking fills
+// the stragglers' shadow with cheap sessions. Session cost comes from the
+// session's own deterministic work counters when it carries telemetry,
+// and from the closed-form per-step work model below otherwise -- both
+// are machine-independent, so scheduling decisions are reproducible.
+//
+// Determinism: every session's filter runs its device inline (one worker)
+// and touches only its own state, so with a fixed per-session seed the
+// estimate() trajectory is bit-identical regardless of the manager's
+// worker count, batch interleaving, or an intervening checkpoint/restore
+// cycle -- test-enforced, like the telemetry/monitor bit-identity
+// guarantees.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace esthera::serve {
+
+/// Admission-control verdicts. kAccepted is the success value; everything
+/// else is a structured rejection reason surfaced to the caller (and
+/// counted under serve.rejected.* when telemetry is attached).
+enum class Admission : std::uint8_t {
+  kAccepted,        ///< request/session admitted
+  kQueueFull,       ///< global pending-request queue at ServeConfig::max_queue
+  kSessionBacklog,  ///< session at ServeConfig::max_pending_per_session
+  kUnknownSession,  ///< no session with that id (closed, evicted, or never opened)
+  kDraining,        ///< manager is draining / shut down; not admitting work
+  kSessionLimit,    ///< ServeConfig::max_sessions sessions already open
+};
+
+[[nodiscard]] const char* to_string(Admission a);
+
+/// Serving-runtime configuration: queue bounds, batch shape, and the
+/// shared telemetry sink for serve.* metrics.
+struct ServeConfig {
+  /// Global cap on queued (admitted, not yet executed) requests.
+  std::size_t max_queue = 1024;
+  /// Per-session cap on queued requests (backpressure for one hot tenant).
+  std::size_t max_pending_per_session = 8;
+  /// Most requests dispatched per run_batch() call (at most one per
+  /// session per batch; a session's requests execute in submission order).
+  std::size_t max_batch = 64;
+  /// Cap on concurrently open sessions.
+  std::size_t max_sessions = 1024;
+  /// Worker threads of the shared scheduler pool (0 = auto, honouring
+  /// ESTHERA_WORKERS / the --workers override).
+  std::size_t workers = 0;
+  /// Metrics sink for the serve.* catalogue (docs/OBSERVABILITY.md);
+  /// null disables recording. Borrowed; must outlive the manager.
+  telemetry::Telemetry* telemetry = nullptr;
+
+  /// Throws std::invalid_argument on inconsistent bounds (zero queue or
+  /// batch capacity, per-session cap above the global cap).
+  void validate() const;
+};
+
+/// Deterministic per-step cost model of one distributed-filter round, in
+/// abstract work units: the dominating closed-form tallies behind the
+/// work.* counters (bitonic compare-exchanges, RNG draws, and per-particle
+/// sampling work). Used for load-aware batch ordering when a session has
+/// no live work counters of its own.
+[[nodiscard]] std::uint64_t step_cost_model(const core::FilterConfig& cfg,
+                                            std::size_t state_dim);
+
+}  // namespace esthera::serve

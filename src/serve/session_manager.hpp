@@ -1,0 +1,503 @@
+// SessionManager: the multi-tenant serving runtime over
+// DistributedParticleFilter (see serve.hpp for the subsystem overview).
+//
+// Request lifecycle (docs/ARCHITECTURE.md has the full diagram):
+//
+//   submit(id, z, u, deadline)
+//     -> admission control: draining? session known? global queue below
+//        max_queue? session backlog below max_pending_per_session?
+//     -> rejected: SubmitResult carries the structured Admission reason
+//     -> admitted: request enqueued FIFO on its session, ticket returned
+//   run_batch()
+//     -> selects <= max_batch sessions with pending work, earliest
+//        deadline first (ties: higher-cost session first, then session id)
+//     -> dispatches the batch over the shared ThreadPool; each entry steps
+//        its session's filter exactly once, inline on one worker
+//     -> completion: per-request latency into serve.request.latency,
+//        batch size into serve.batch.size, sessions released
+//   checkpoint/evict(id)
+//     -> waits for the session to leave any in-flight batch, serializes
+//        particle store + RNG stream + step index to a versioned blob
+//   restore_session(model, config, blob)
+//     -> decodes + validates the blob, opens a session that continues the
+//        source trajectory bit-identically
+//   drain()
+//     -> stops admission (kDraining) and runs batches until empty
+//
+// Thread-safety: every public method may be called concurrently; internal
+// state is guarded by one mutex, and filter stepping happens outside the
+// lock with the session pinned by a busy flag. Stepping is the only
+// mutation done off-lock, so checkpoint/estimate/close wait on the busy
+// flag instead of racing the step.
+//
+// A session's own FilterConfig::telemetry/monitor (if any) is exercised
+// from scheduler worker threads. Counters and gauges are atomic, but
+// stage histograms are single-writer, so share one Telemetry instance
+// across sessions only with a single-worker manager; otherwise give each
+// session its own instance (or none).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/distributed_pf.hpp"
+#include "device/device.hpp"
+#include "mcore/thread_pool.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/serve.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace esthera::serve {
+
+template <typename Model>
+  requires models::SystemModel<Model>
+class SessionManager {
+ public:
+  using T = typename Model::Scalar;
+  using Filter = core::DistributedParticleFilter<Model>;
+  using SessionId = std::uint64_t;
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: schedulable last, after every deadlined request.
+  static constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+  struct OpenResult {
+    Admission admission = Admission::kAccepted;
+    SessionId id = 0;
+    [[nodiscard]] bool ok() const { return admission == Admission::kAccepted; }
+  };
+
+  struct SubmitResult {
+    Admission admission = Admission::kAccepted;
+    std::uint64_t ticket = 0;
+    [[nodiscard]] bool ok() const { return admission == Admission::kAccepted; }
+  };
+
+  struct BatchStats {
+    std::size_t dispatched = 0;    ///< requests executed by this call
+    std::size_t queued_after = 0;  ///< queue depth after the batch
+    /// Tickets in dispatch (EDF) order; exposes the scheduling decision
+    /// for tests and debugging.
+    std::vector<std::uint64_t> tickets;
+  };
+
+  explicit SessionManager(ServeConfig cfg)
+      : cfg_(cfg),
+        pool_(cfg.workers == 0 ? mcore::ThreadPool::default_worker_count()
+                               : cfg.workers),
+        // One shared emulated device for every session, with an inline
+        // (single-worker) pool: session steps parallelize across sessions
+        // via pool_, never inside one session. This is what makes each
+        // session's trajectory independent of the manager's worker count.
+        device_(std::make_shared<device::Device>(1)) {
+    cfg_.validate();
+    if (cfg_.telemetry != nullptr) {
+      auto& reg = cfg_.telemetry->registry;
+      cnt_accepted_ = &reg.counter("serve.requests.accepted");
+      cnt_completed_ = &reg.counter("serve.requests.completed");
+      cnt_rejected_[static_cast<int>(Admission::kQueueFull)] =
+          &reg.counter("serve.rejected.queue_full");
+      cnt_rejected_[static_cast<int>(Admission::kSessionBacklog)] =
+          &reg.counter("serve.rejected.session_backlog");
+      cnt_rejected_[static_cast<int>(Admission::kUnknownSession)] =
+          &reg.counter("serve.rejected.unknown_session");
+      cnt_rejected_[static_cast<int>(Admission::kDraining)] =
+          &reg.counter("serve.rejected.draining");
+      cnt_rejected_[static_cast<int>(Admission::kSessionLimit)] =
+          &reg.counter("serve.rejected.session_limit");
+      cnt_batches_ = &reg.counter("serve.batches");
+      cnt_opened_ = &reg.counter("serve.sessions.opened");
+      cnt_closed_ = &reg.counter("serve.sessions.closed");
+      cnt_evicted_ = &reg.counter("serve.sessions.evicted");
+      cnt_restored_ = &reg.counter("serve.sessions.restored");
+      cnt_checkpoints_ = &reg.counter("serve.checkpoints");
+      gauge_queue_ = &reg.gauge("serve.queue.depth");
+      gauge_sessions_ = &reg.gauge("serve.sessions.open");
+      gauge_ckpt_bytes_ = &reg.gauge("serve.checkpoint.bytes");
+      hist_latency_ = &reg.histogram("serve.request.latency");
+      hist_batch_ = &reg.histogram("serve.batch.size");
+    }
+  }
+
+  ~SessionManager() = default;
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  [[nodiscard]] const ServeConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t worker_count() const { return pool_.worker_count(); }
+
+  /// Opens a session running `model` under `fcfg` (per-session seed, shape,
+  /// telemetry, monitor all come from `fcfg`). The filter runs on the
+  /// manager's shared single-worker device regardless of `fcfg.workers`.
+  [[nodiscard]] OpenResult open_session(Model model, core::FilterConfig fcfg) {
+    std::unique_lock lock(mutex_);
+    if (const Admission a = admit_session_locked(); a != Admission::kAccepted) {
+      return {note_reject(a), 0};
+    }
+    return insert_session_locked(
+        std::make_unique<Filter>(std::move(model), fcfg, device_), fcfg,
+        cnt_opened_);
+  }
+
+  /// Opens a session continuing the trajectory serialized in `blob`
+  /// (produced by checkpoint()/evict()). `model` and `fcfg` must match the
+  /// source session: the blob validates shape, scalar width, and PRNG core
+  /// and throws CheckpointError / std::invalid_argument on any mismatch or
+  /// corruption. The restored session's next step is bit-identical to the
+  /// step the source session would have taken.
+  [[nodiscard]] OpenResult restore_session(Model model, core::FilterConfig fcfg,
+                                           std::span<const std::uint8_t> blob) {
+    const core::FilterState<T> state = decode_checkpoint<T>(blob);
+    std::unique_lock lock(mutex_);
+    if (const Admission a = admit_session_locked(); a != Admission::kAccepted) {
+      return {note_reject(a), 0};
+    }
+    auto filter = std::make_unique<Filter>(std::move(model), fcfg, device_);
+    filter->import_state(state);
+    return insert_session_locked(std::move(filter), fcfg, cnt_restored_);
+  }
+
+  /// Closes a session, dropping any requests still queued on it. Returns
+  /// false when the id is unknown. Blocks while the session is in flight.
+  bool close_session(SessionId id) {
+    std::unique_lock lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    wait_idle_locked(lock, it->second);
+    queue_size_ -= it->second.pending.size();
+    sessions_.erase(it);
+    if (cnt_closed_) cnt_closed_->add(1);
+    publish_gauges_locked();
+    return true;
+  }
+
+  /// Serializes a session to a versioned checkpoint blob (the session
+  /// stays open). std::nullopt when the id is unknown. Blocks while the
+  /// session is in flight so the snapshot is step-boundary consistent.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> checkpoint(SessionId id) {
+    std::unique_lock lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return std::nullopt;
+    wait_idle_locked(lock, it->second);
+    auto blob = encode_checkpoint<T>(it->second.filter->export_state());
+    if (cnt_checkpoints_) cnt_checkpoints_->add(1);
+    if (gauge_ckpt_bytes_) gauge_ckpt_bytes_->set(static_cast<double>(blob.size()));
+    return blob;
+  }
+
+  /// checkpoint() + close_session(): serializes the session and removes it
+  /// (idle-session eviction). Queued requests on the session are dropped --
+  /// evict idle sessions. std::nullopt when the id is unknown.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> evict(SessionId id) {
+    std::unique_lock lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return std::nullopt;
+    wait_idle_locked(lock, it->second);
+    auto blob = encode_checkpoint<T>(it->second.filter->export_state());
+    if (cnt_checkpoints_) cnt_checkpoints_->add(1);
+    if (gauge_ckpt_bytes_) gauge_ckpt_bytes_->set(static_cast<double>(blob.size()));
+    queue_size_ -= it->second.pending.size();
+    sessions_.erase(it);
+    if (cnt_evicted_) cnt_evicted_->add(1);
+    publish_gauges_locked();
+    return blob;
+  }
+
+  /// Admits one observe(z, u) request for session `id`. `deadline` is any
+  /// monotone urgency value (smaller = sooner; e.g. seconds since start);
+  /// kNoDeadline schedules after all deadlined work. On rejection the
+  /// structured reason comes back in SubmitResult -- the call never blocks
+  /// and never drops silently.
+  [[nodiscard]] SubmitResult submit(SessionId id, std::span<const T> z,
+                                    std::span<const T> u = {},
+                                    double deadline = kNoDeadline) {
+    std::unique_lock lock(mutex_);
+    if (draining_) return rejected(Admission::kDraining);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return rejected(Admission::kUnknownSession);
+    if (queue_size_ >= cfg_.max_queue) return rejected(Admission::kQueueFull);
+    if (it->second.pending.size() >= cfg_.max_pending_per_session) {
+      return rejected(Admission::kSessionBacklog);
+    }
+    Request req;
+    req.ticket = next_ticket_++;
+    req.deadline = deadline;
+    req.z.assign(z.begin(), z.end());
+    req.u.assign(u.begin(), u.end());
+    req.enqueued = Clock::now();
+    it->second.pending.push_back(std::move(req));
+    ++queue_size_;
+    if (cnt_accepted_) cnt_accepted_->add(1);
+    publish_gauges_locked();
+    return {Admission::kAccepted, it->second.pending.back().ticket};
+  }
+
+  /// Dispatches one batch: up to max_batch pending requests (at most one
+  /// per session, sessions' requests stay FIFO), earliest deadline first,
+  /// ties broken by descending session cost then ascending session id, all
+  /// stepped concurrently over the shared pool. Returns what was
+  /// dispatched. Safe to call from several threads; a session never
+  /// appears in two batches at once.
+  BatchStats run_batch() {
+    struct Entry {
+      SessionState* session = nullptr;
+      Request req;
+    };
+    std::vector<Entry> batch;
+    BatchStats stats;
+    {
+      std::unique_lock lock(mutex_);
+      std::vector<SessionState*> ready;
+      ready.reserve(sessions_.size());
+      for (auto& [id, s] : sessions_) {
+        if (!s.busy && !s.pending.empty()) ready.push_back(&s);
+      }
+      std::sort(ready.begin(), ready.end(),
+                [](const SessionState* a, const SessionState* b) {
+                  const double da = a->pending.front().deadline;
+                  const double db = b->pending.front().deadline;
+                  if (da != db) return da < db;
+                  if (a->cost != b->cost) return a->cost > b->cost;
+                  return a->id < b->id;
+                });
+      if (ready.size() > cfg_.max_batch) ready.resize(cfg_.max_batch);
+      batch.reserve(ready.size());
+      for (SessionState* s : ready) {
+        s->busy = true;
+        batch.push_back({s, std::move(s->pending.front())});
+        s->pending.pop_front();
+        --queue_size_;
+        stats.tickets.push_back(batch.back().req.ticket);
+      }
+      stats.dispatched = batch.size();
+      stats.queued_after = queue_size_;
+      publish_gauges_locked();
+    }
+    if (batch.empty()) return stats;
+    pool_.run(batch.size(), [&](std::size_t i, std::size_t /*worker*/) {
+      Entry& e = batch[i];
+      e.session->filter->step(e.req.z, e.req.u);
+    });
+    {
+      std::unique_lock lock(mutex_);
+      const auto now = Clock::now();
+      for (Entry& e : batch) {
+        e.session->busy = false;
+        ++e.session->completed;
+        if (e.session->work_cmpex != nullptr) {
+          const std::uint64_t total = e.session->work_cmpex->value() +
+                                      e.session->work_rng->value() -
+                                      e.session->work_base;
+          e.session->cost = total / e.session->completed;
+        }
+        if (hist_latency_) {
+          hist_latency_->record(
+              std::chrono::duration<double>(now - e.req.enqueued).count());
+        }
+      }
+      if (cnt_completed_) cnt_completed_->add(batch.size());
+      if (cnt_batches_) cnt_batches_->add(1);
+      if (hist_batch_) hist_batch_->record(static_cast<double>(batch.size()));
+      stats.queued_after = queue_size_;
+      idle_cv_.notify_all();
+    }
+    return stats;
+  }
+
+  /// Graceful shutdown: stops admitting (submits reject with kDraining)
+  /// and runs batches until every already-admitted request has executed.
+  void drain() {
+    {
+      std::unique_lock lock(mutex_);
+      draining_ = true;
+    }
+    while (run_batch().queued_after > 0 || queue_depth() > 0) {
+    }
+  }
+
+  [[nodiscard]] bool draining() const {
+    std::unique_lock lock(mutex_);
+    return draining_;
+  }
+
+  [[nodiscard]] std::size_t queue_depth() const {
+    std::unique_lock lock(mutex_);
+    return queue_size_;
+  }
+
+  [[nodiscard]] std::size_t session_count() const {
+    std::unique_lock lock(mutex_);
+    return sessions_.size();
+  }
+
+  /// Pending requests queued on one session; nullopt for unknown ids.
+  [[nodiscard]] std::optional<std::size_t> pending(SessionId id) const {
+    std::unique_lock lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return std::nullopt;
+    return it->second.pending.size();
+  }
+
+  /// Copy of the session's current estimate (waits out an in-flight step);
+  /// nullopt for unknown ids.
+  [[nodiscard]] std::optional<std::vector<T>> estimate(SessionId id) {
+    std::unique_lock lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return std::nullopt;
+    wait_idle_locked(lock, it->second);
+    const auto est = it->second.filter->estimate();
+    return std::vector<T>(est.begin(), est.end());
+  }
+
+  /// Completed filtering rounds of the session; nullopt for unknown ids.
+  [[nodiscard]] std::optional<std::uint64_t> step_index(SessionId id) {
+    std::unique_lock lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return std::nullopt;
+    wait_idle_locked(lock, it->second);
+    return it->second.filter->step_index();
+  }
+
+ private:
+  struct Request {
+    std::uint64_t ticket = 0;
+    double deadline = kNoDeadline;
+    std::vector<T> z;
+    std::vector<T> u;
+    Clock::time_point enqueued;
+  };
+
+  struct SessionState {
+    SessionId id = 0;
+    std::unique_ptr<Filter> filter;
+    std::deque<Request> pending;
+    bool busy = false;            ///< currently stepping inside a batch
+    std::uint64_t completed = 0;  ///< requests executed
+    std::uint64_t cost = 0;       ///< deterministic per-step work estimate
+    /// Live work counters of the session's own telemetry (null without
+    /// it); when present, `cost` tracks the measured per-step average of
+    /// (compare-exchanges + RNG draws) since open instead of the static
+    /// model. Both are machine-independent.
+    const telemetry::Counter* work_cmpex = nullptr;
+    const telemetry::Counter* work_rng = nullptr;
+    std::uint64_t work_base = 0;  ///< counter sum when the session opened
+  };
+
+  [[nodiscard]] Admission admit_session_locked() const {
+    if (draining_) return Admission::kDraining;
+    if (sessions_.size() >= cfg_.max_sessions) return Admission::kSessionLimit;
+    return Admission::kAccepted;
+  }
+
+  OpenResult insert_session_locked(std::unique_ptr<Filter> filter,
+                                   const core::FilterConfig& fcfg,
+                                   telemetry::Counter* opened_counter) {
+    SessionState s;
+    s.id = next_session_++;
+    s.cost = step_cost_model(fcfg, filter->model().state_dim());
+    if (fcfg.telemetry != nullptr) {
+      auto& reg = fcfg.telemetry->registry;
+      s.work_cmpex = &reg.counter("work.compare_exchanges");
+      s.work_rng = &reg.counter("work.rng_draws");
+      s.work_base = s.work_cmpex->value() + s.work_rng->value();
+    }
+    s.filter = std::move(filter);
+    const SessionId id = s.id;
+    sessions_.emplace(id, std::move(s));
+    if (opened_counter) opened_counter->add(1);
+    publish_gauges_locked();
+    return {Admission::kAccepted, id};
+  }
+
+  Admission note_reject(Admission why) {
+    if (telemetry::Counter* c = cnt_rejected_[static_cast<int>(why)]) c->add(1);
+    return why;
+  }
+
+  SubmitResult rejected(Admission why) { return {note_reject(why), 0}; }
+
+  void wait_idle_locked(std::unique_lock<std::mutex>& lock, SessionState& s) {
+    idle_cv_.wait(lock, [&] { return !s.busy; });
+  }
+
+  void publish_gauges_locked() {
+    if (gauge_queue_) gauge_queue_->set(static_cast<double>(queue_size_));
+    if (gauge_sessions_) gauge_sessions_->set(static_cast<double>(sessions_.size()));
+  }
+
+  ServeConfig cfg_;
+  mcore::ThreadPool pool_;
+  std::shared_ptr<device::Device> device_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::map<SessionId, SessionState> sessions_;
+  std::size_t queue_size_ = 0;
+  bool draining_ = false;
+  SessionId next_session_ = 1;
+  std::uint64_t next_ticket_ = 1;
+  // Cached serve.* metrics (null without telemetry).
+  telemetry::Counter* cnt_accepted_ = nullptr;
+  telemetry::Counter* cnt_completed_ = nullptr;
+  telemetry::Counter* cnt_rejected_[6] = {};
+  telemetry::Counter* cnt_batches_ = nullptr;
+  telemetry::Counter* cnt_opened_ = nullptr;
+  telemetry::Counter* cnt_closed_ = nullptr;
+  telemetry::Counter* cnt_evicted_ = nullptr;
+  telemetry::Counter* cnt_restored_ = nullptr;
+  telemetry::Counter* cnt_checkpoints_ = nullptr;
+  telemetry::Gauge* gauge_queue_ = nullptr;
+  telemetry::Gauge* gauge_sessions_ = nullptr;
+  telemetry::Gauge* gauge_ckpt_bytes_ = nullptr;
+  telemetry::LatencyHistogram* hist_latency_ = nullptr;
+  telemetry::LatencyHistogram* hist_batch_ = nullptr;
+};
+
+/// Background scheduler: calls run_batch() in a loop, sleeping for the
+/// batch window after each pass so concurrent submits coalesce into one
+/// batch. stop() (also run by the destructor) joins the thread and then
+/// drains the manager -- admitted requests always execute; later submits
+/// reject with kDraining.
+template <typename Model>
+class BatchLoop {
+ public:
+  BatchLoop(SessionManager<Model>& manager, std::chrono::microseconds window)
+      : manager_(manager), window_(window), thread_([this] { loop(); }) {}
+
+  ~BatchLoop() { stop(); }
+  BatchLoop(const BatchLoop&) = delete;
+  BatchLoop& operator=(const BatchLoop&) = delete;
+
+  /// Idempotent: stops the scheduler thread and drains remaining work.
+  void stop() {
+    stopping_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+    manager_.drain();
+  }
+
+ private:
+  void loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      manager_.run_batch();
+      std::this_thread::sleep_for(window_);
+    }
+  }
+
+  SessionManager<Model>& manager_;
+  std::chrono::microseconds window_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace esthera::serve

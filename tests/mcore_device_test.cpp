@@ -112,6 +112,21 @@ TEST(ThreadPool, DefaultWorkerCountRejectsGarbageEnv) {
   unsetenv("ESTHERA_WORKERS");
 }
 
+TEST(ThreadPool, SetDefaultWorkerCountOverridesEnv) {
+  setenv("ESTHERA_WORKERS", "3", 1);
+  mcore::ThreadPool::set_default_worker_count(2);
+  EXPECT_EQ(mcore::ThreadPool::default_worker_count(), 2u);
+  // Requests above the cap clamp instead of spawning a garbage-sized pool.
+  mcore::ThreadPool::set_default_worker_count(
+      static_cast<std::size_t>(mcore::ThreadPool::kMaxWorkers) + 7);
+  EXPECT_EQ(mcore::ThreadPool::default_worker_count(),
+            static_cast<std::size_t>(mcore::ThreadPool::kMaxWorkers));
+  // Clearing the override restores the environment-variable path.
+  mcore::ThreadPool::set_default_worker_count(0);
+  EXPECT_EQ(mcore::ThreadPool::default_worker_count(), 3u);
+  unsetenv("ESTHERA_WORKERS");
+}
+
 TEST(ThreadPool, RepeatedSmallRunsDoNotLoseCompletionSignal) {
   // Regression hammer for the lost-wakeup race on cv_done_: a worker that
   // finished the last index used to notify without holding the mutex, so

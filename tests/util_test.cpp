@@ -160,6 +160,28 @@ TEST(CliDeathTest, UnknownFlagListsAcceptedFlagsSorted) {
       testing::ExitedWithCode(2), "accepted flags: --json --steps");
 }
 
+TEST(CliDeathTest, HelpPrintsAcceptedFlagsAndExitsZero) {
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_EXIT(
+      {
+        const auto cli = bench_util::Cli::parse_or_exit(
+            2, const_cast<char**>(argv), {"--steps", "--json"});
+        (void)cli;
+      },
+      testing::ExitedWithCode(0), "");
+}
+
+TEST(CliDeathTest, HelpWinsOverUnknownFlags) {
+  const char* argv[] = {"prog", "--bogus", "--help"};
+  EXPECT_EXIT(
+      {
+        const auto cli = bench_util::Cli::parse_or_exit(
+            3, const_cast<char**>(argv), {"--steps"});
+        (void)cli;
+      },
+      testing::ExitedWithCode(0), "");
+}
+
 TEST(CliDeathTest, PositionalArgumentExitsInsteadOfThrowing) {
   const char* argv[] = {"prog", "stray"};
   EXPECT_EXIT(
