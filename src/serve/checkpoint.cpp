@@ -1,6 +1,7 @@
 #include "serve/checkpoint.hpp"
 
 #include <cstring>
+#include <limits>
 #include <string>
 
 namespace esthera::serve {
@@ -188,19 +189,42 @@ core::FilterState<T> decode_checkpoint(std::span<const std::uint8_t> blob) {
   s.rng.groups = s.num_filters;
   const std::uint64_t words = r.u64("rng word count");
   // Extent sanity before any allocation: a corrupt length field must not
-  // turn into a huge allocation or a misleading later error.
-  if (words * 4 > r.remaining()) {
+  // turn into a huge allocation or a misleading later error. Compare with
+  // division (never multiplication) -- these fields are corruption-
+  // controlled u64s, so `words * 4` etc. can wrap and sail past the guard.
+  if (words > r.remaining() / 4) {
     throw CheckpointError("checkpoint truncated: rng words extent overruns blob");
   }
   s.rng.mt_words.resize(static_cast<std::size_t>(words));
   for (auto& word : s.rng.mt_words) word = r.u32("rng words");
-  const std::uint64_t n_total = s.particles_per_filter * s.num_filters;
-  const std::uint64_t scalars = n_total * s.state_dim + n_total + s.state_dim + 1;
-  if (scalars * sizeof(T) != r.remaining()) {
+  if (r.remaining() % sizeof(T) != 0) {
+    throw CheckpointError(
+        "checkpoint truncated or corrupt: particle payload of " +
+        std::to_string(r.remaining()) + " bytes is not a multiple of the " +
+        std::to_string(sizeof(T)) + "-byte scalar width");
+  }
+  const std::uint64_t avail = r.remaining() / sizeof(T);
+  const auto mul_overflows = [](std::uint64_t a, std::uint64_t b) {
+    return a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a;
+  };
+  std::uint64_t n_total = 0;
+  std::uint64_t n_state = 0;
+  if (mul_overflows(s.particles_per_filter, s.num_filters) ||
+      (n_total = s.particles_per_filter * s.num_filters) > avail ||
+      mul_overflows(n_total, s.state_dim) ||
+      (n_state = n_total * s.state_dim) > avail || s.state_dim > avail) {
+    throw CheckpointError(
+        "checkpoint corrupt: header extents exceed the particle payload (" +
+        std::to_string(r.remaining()) + " bytes)");
+  }
+  // Each term is <= avail <= blob size, so the sum cannot wrap u64.
+  const std::uint64_t scalars = n_state + n_total + s.state_dim + 1;
+  if (scalars != avail) {
     throw CheckpointError(
         "checkpoint truncated or corrupt: particle payload is " +
         std::to_string(r.remaining()) + " bytes, header declares " +
-        std::to_string(scalars * sizeof(T)));
+        std::to_string(scalars) + " scalars (" +
+        std::to_string(scalars * sizeof(T)) + " bytes)");
   }
   s.state.resize(static_cast<std::size_t>(n_total * s.state_dim));
   r.bytes(s.state.data(), s.state.size() * sizeof(T), "particle states");

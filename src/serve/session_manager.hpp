@@ -39,6 +39,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -173,9 +174,8 @@ class SessionManager {
   /// false when the id is unknown. Blocks while the session is in flight.
   bool close_session(SessionId id) {
     std::unique_lock lock(mutex_);
-    auto it = sessions_.find(id);
+    auto it = wait_idle_locked(lock, id);
     if (it == sessions_.end()) return false;
-    wait_idle_locked(lock, it->second);
     queue_size_ -= it->second.pending.size();
     sessions_.erase(it);
     if (cnt_closed_) cnt_closed_->add(1);
@@ -188,9 +188,8 @@ class SessionManager {
   /// session is in flight so the snapshot is step-boundary consistent.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> checkpoint(SessionId id) {
     std::unique_lock lock(mutex_);
-    auto it = sessions_.find(id);
+    auto it = wait_idle_locked(lock, id);
     if (it == sessions_.end()) return std::nullopt;
-    wait_idle_locked(lock, it->second);
     auto blob = encode_checkpoint<T>(it->second.filter->export_state());
     if (cnt_checkpoints_) cnt_checkpoints_->add(1);
     if (gauge_ckpt_bytes_) gauge_ckpt_bytes_->set(static_cast<double>(blob.size()));
@@ -202,9 +201,8 @@ class SessionManager {
   /// evict idle sessions. std::nullopt when the id is unknown.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> evict(SessionId id) {
     std::unique_lock lock(mutex_);
-    auto it = sessions_.find(id);
+    auto it = wait_idle_locked(lock, id);
     if (it == sessions_.end()) return std::nullopt;
-    wait_idle_locked(lock, it->second);
     auto blob = encode_checkpoint<T>(it->second.filter->export_state());
     if (cnt_checkpoints_) cnt_checkpoints_->add(1);
     if (gauge_ckpt_bytes_) gauge_ckpt_bytes_->set(static_cast<double>(blob.size()));
@@ -217,12 +215,16 @@ class SessionManager {
 
   /// Admits one observe(z, u) request for session `id`. `deadline` is any
   /// monotone urgency value (smaller = sooner; e.g. seconds since start);
-  /// kNoDeadline schedules after all deadlined work. On rejection the
+  /// kNoDeadline schedules after all deadlined work (NaN is normalized to
+  /// kNoDeadline). On rejection the
   /// structured reason comes back in SubmitResult -- the call never blocks
   /// and never drops silently.
   [[nodiscard]] SubmitResult submit(SessionId id, std::span<const T> z,
                                     std::span<const T> u = {},
                                     double deadline = kNoDeadline) {
+    // A NaN deadline would break the strict weak ordering of the EDF sort
+    // comparator (UB in std::sort); treat it as "no deadline".
+    if (std::isnan(deadline)) deadline = kNoDeadline;
     std::unique_lock lock(mutex_);
     if (draining_) return rejected(Admission::kDraining);
     auto it = sessions_.find(id);
@@ -323,7 +325,17 @@ class SessionManager {
       std::unique_lock lock(mutex_);
       draining_ = true;
     }
-    while (run_batch().queued_after > 0 || queue_depth() > 0) {
+    for (;;) {
+      const BatchStats stats = run_batch();
+      std::unique_lock lock(mutex_);
+      if (queue_size_ == 0) return;
+      if (stats.dispatched == 0) {
+        // Every pending request sits on a session busy in another
+        // thread's in-flight batch: sleep until a batch completes
+        // (idle_cv_ is notified then) instead of spinning. The timeout
+        // bounds the wait in case the notify races this wait.
+        idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
     }
   }
 
@@ -354,9 +366,8 @@ class SessionManager {
   /// nullopt for unknown ids.
   [[nodiscard]] std::optional<std::vector<T>> estimate(SessionId id) {
     std::unique_lock lock(mutex_);
-    auto it = sessions_.find(id);
+    auto it = wait_idle_locked(lock, id);
     if (it == sessions_.end()) return std::nullopt;
-    wait_idle_locked(lock, it->second);
     const auto est = it->second.filter->estimate();
     return std::vector<T>(est.begin(), est.end());
   }
@@ -364,9 +375,8 @@ class SessionManager {
   /// Completed filtering rounds of the session; nullopt for unknown ids.
   [[nodiscard]] std::optional<std::uint64_t> step_index(SessionId id) {
     std::unique_lock lock(mutex_);
-    auto it = sessions_.find(id);
+    auto it = wait_idle_locked(lock, id);
     if (it == sessions_.end()) return std::nullopt;
-    wait_idle_locked(lock, it->second);
     return it->second.filter->step_index();
   }
 
@@ -428,8 +438,21 @@ class SessionManager {
 
   SubmitResult rejected(Admission why) { return {note_reject(why), 0}; }
 
-  void wait_idle_locked(std::unique_lock<std::mutex>& lock, SessionState& s) {
-    idle_cv_.wait(lock, [&] { return !s.busy; });
+  using SessionIter = typename std::map<SessionId, SessionState>::iterator;
+
+  /// Waits until session `id` is idle and returns a fresh iterator to it,
+  /// or sessions_.end() when the id is unknown or was erased while
+  /// waiting. The session is re-looked-up after every wakeup: two threads
+  /// may wait on the same busy session (e.g. close racing evict on one
+  /// id), and the first waiter to wake can erase the map entry -- caching
+  /// a reference or iterator across the wait would dangle.
+  SessionIter wait_idle_locked(std::unique_lock<std::mutex>& lock,
+                               SessionId id) {
+    for (;;) {
+      auto it = sessions_.find(id);
+      if (it == sessions_.end() || !it->second.busy) return it;
+      idle_cv_.wait(lock);
+    }
   }
 
   void publish_gauges_locked() {

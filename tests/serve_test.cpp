@@ -5,11 +5,13 @@
 // estimates regardless of manager worker count, batch interleaving, or an
 // intervening checkpoint/restore), admission control with every rejection
 // reason, EDF batch ordering, the serve.* metric catalogue, and a
-// concurrent submit/checkpoint/evict stress loop for TSan.
+// concurrent submit/checkpoint/evict stress loop for TSan (plus a
+// multi-waiter close/evict race on one busy session).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -169,6 +171,57 @@ TEST(ServeCheckpoint, ScalarWidthMismatchIsRefused) {
   ArmFilter pf(make_model(7), small_config());
   const auto blob = serve::encode_checkpoint<float>(pf.export_state());
   EXPECT_THROW((void)serve::decode_checkpoint<double>(blob), serve::CheckpointError);
+}
+
+/// Same FNV-1a as the encoder: needed to re-sign blobs whose header
+/// fields the tests below deliberately corrupt, so the corruption reaches
+/// the extent guards instead of being caught by the checksum first.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void patch_u64_and_resign(std::vector<std::uint8_t>& blob, std::size_t offset,
+                          std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    blob[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  const std::size_t payload = blob.size() - 8;
+  const std::uint64_t sum = fnv1a64(blob.data(), payload);
+  for (int i = 0; i < 8; ++i) {
+    blob[payload + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+}
+
+TEST(ServeCheckpoint, OverflowingExtentFieldsAreRejectedNotAllocated) {
+  ArmFilter pf(make_model(7), small_config());
+  const auto blob = serve::encode_checkpoint<float>(pf.export_state());
+  // Little-endian u64 header fields after magic/version/scalar/generator:
+  // particles_per_filter at 16, num_filters at 24, state_dim at 32, rng
+  // word count at 56. A value of 2^62 makes the old `field * 4` extent
+  // guard wrap to zero and pass, reaching resize() with an astronomical
+  // size -- it must be a CheckpointError, never length_error/bad_alloc.
+  constexpr std::uint64_t kHuge = 1ull << 62;
+  for (const std::size_t offset :
+       {std::size_t{16}, std::size_t{24}, std::size_t{32}, std::size_t{56}}) {
+    auto bad = blob;
+    patch_u64_and_resign(bad, offset, kHuge);
+    EXPECT_THROW((void)serve::decode_checkpoint<float>(bad),
+                 serve::CheckpointError)
+        << "field at offset " << offset;
+  }
+  // particles * filters wrapping the u64 product to zero must not pass.
+  auto wrap = blob;
+  patch_u64_and_resign(wrap, 16, 1ull << 32);
+  patch_u64_and_resign(wrap, 24, 1ull << 32);
+  EXPECT_THROW((void)serve::decode_checkpoint<float>(wrap),
+               serve::CheckpointError);
 }
 
 TEST(ServeCheckpoint, ImportRejectsShapeMismatch) {
@@ -370,6 +423,28 @@ TEST(Serve, BatchOrderIsEdfWithCostAndIdTieBreaks) {
             (std::vector<std::uint64_t>{u2.ticket, u1.ticket}));
 }
 
+TEST(Serve, NanDeadlineIsTreatedAsNoDeadline) {
+  // A NaN deadline would break the EDF comparator's strict weak ordering
+  // (UB in std::sort); submit() normalizes it to kNoDeadline instead.
+  serve::ServeConfig scfg;
+  scfg.workers = 1;
+  Manager mgr(scfg);
+  const Traffic traffic(9, 2);
+
+  const auto a = mgr.open_session(make_model(9), small_config(41));
+  const auto b = mgr.open_session(make_model(9), small_config(42));
+  const auto nan_req = mgr.submit(a.id, traffic.z[0], traffic.u[0],
+                                  std::numeric_limits<double>::quiet_NaN());
+  const auto dl_req = mgr.submit(b.id, traffic.z[0], traffic.u[0], 1.0);
+  ASSERT_TRUE(nan_req.ok());
+  ASSERT_TRUE(dl_req.ok());
+
+  const auto stats = mgr.run_batch();
+  ASSERT_EQ(stats.dispatched, 2u);
+  EXPECT_EQ(stats.tickets,
+            (std::vector<std::uint64_t>{dl_req.ticket, nan_req.ticket}));
+}
+
 TEST(Serve, MetricsCatalogueIsRecorded) {
   telemetry::Telemetry tel;
   serve::ServeConfig scfg;
@@ -464,6 +539,43 @@ TEST(ServeStress, ConcurrentSubmitCheckpointEvict) {
   EXPECT_EQ(mgr.session_count(), kSessions);
   for (std::size_t s = 0; s < kSessions; ++s) {
     EXPECT_TRUE(mgr.estimate(ids[s].load()).has_value());
+  }
+}
+
+// Regression for the wait-idle use-after-free: several threads wait out
+// the SAME busy session (close racing evict racing estimate on one id).
+// The first waiter to wake erases the map entry, so the others must
+// re-look-up the session instead of re-reading a cached reference --
+// exactly one eraser may win, and the ASan/TSan CI jobs verify nobody
+// touches the freed SessionState.
+TEST(ServeStress, ConcurrentClosersOnOneBusySession) {
+  const Traffic traffic(14, 1);
+  for (int round = 0; round < 20; ++round) {
+    serve::ServeConfig scfg;
+    scfg.workers = 1;
+    Manager mgr(scfg);
+    core::FilterConfig fcfg = small_config(900 + static_cast<std::uint64_t>(round));
+    fcfg.particles_per_filter = 256;  // widen the in-flight window
+    const auto opened = mgr.open_session(make_model(14), fcfg);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(mgr.submit(opened.id, traffic.z[0], traffic.u[0]).ok());
+
+    std::atomic<int> erased{0};
+    std::thread batcher([&] { mgr.run_batch(); });
+    std::thread closer([&] {
+      if (mgr.close_session(opened.id)) erased.fetch_add(1);
+    });
+    std::thread evictor([&] {
+      if (mgr.evict(opened.id).has_value()) erased.fetch_add(1);
+    });
+    std::thread observer([&] { (void)mgr.estimate(opened.id); });
+    batcher.join();
+    closer.join();
+    evictor.join();
+    observer.join();
+
+    EXPECT_EQ(erased.load(), 1) << "round " << round;
+    EXPECT_EQ(mgr.session_count(), 0u) << "round " << round;
   }
 }
 
