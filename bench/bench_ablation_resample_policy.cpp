@@ -17,7 +17,8 @@ struct PolicyResult {
 };
 
 PolicyResult run_policy(const resample::ResamplePolicy& policy, std::size_t m,
-                        const bench::Protocol& proto) {
+                        const bench::Protocol& proto,
+                        core::ResampleAlgorithm alg = core::ResampleAlgorithm::kRws) {
   estimation::ErrorAccumulator err;
   double resample_s = 0.0, total_s = 0.0;
   sim::RobotArmScenario scenario;
@@ -29,6 +30,7 @@ PolicyResult run_policy(const resample::ResamplePolicy& policy, std::size_t m,
     cfg.particles_per_filter = m;
     cfg.num_filters = 2048 / m;
     cfg.policy = policy;
+    cfg.resample = alg;
     cfg.seed = 17 + r;
     core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
         scenario.make_model<float>(), cfg);
@@ -84,8 +86,36 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << '\n';
   }
+  // Second axis: the resampling algorithm itself under the always policy.
+  // The collective resamplers (RWS, Vose) are exact; Metropolis trades a
+  // small, chain-length-controlled bias for collective-free execution and
+  // rejection is exact but with data-dependent per-lane depth.
+  struct AlgEntry {
+    const char* name;
+    core::ResampleAlgorithm alg;
+  };
+  const AlgEntry algs[] = {
+      {"rws", core::ResampleAlgorithm::kRws},
+      {"vose", core::ResampleAlgorithm::kVose},
+      {"systematic", core::ResampleAlgorithm::kSystematic},
+      {"metropolis", core::ResampleAlgorithm::kMetropolis},
+      {"rejection", core::ResampleAlgorithm::kRejection},
+  };
+  for (const std::size_t m : {16u, 64u}) {
+    std::cout << "resampling algorithm, always policy, m = " << m << '\n';
+    bench_util::Table table({"algorithm", "RMSE", "resampling runtime share"});
+    for (const auto& a : algs) {
+      const auto res =
+          run_policy(resample::ResamplePolicy::always(), m, proto, a.alg);
+      table.add_row({a.name, bench_util::Table::num(res.rmse, 4),
+                     bench_util::Table::num(100.0 * res.resample_share, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
   std::cout << "Paper conclusion to reproduce: frequent resampling generally "
                "yields the best accuracy; conditional policies only save a "
-               "modest slice of runtime.\n";
+               "modest slice of runtime. The collective-free resamplers should "
+               "match the exact ones' RMSE to within run-to-run noise.\n";
   return 0;
 }

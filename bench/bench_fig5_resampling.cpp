@@ -13,6 +13,9 @@
 #include <random>
 
 #include "bench_common.hpp"
+#include "prng/philox.hpp"
+#include "resample/metropolis.hpp"
+#include "resample/rejection.hpp"
 #include "resample/rws.hpp"
 #include "resample/vose.hpp"
 
@@ -82,6 +85,41 @@ double vose_rounds_per_group(Workspace& ws, std::size_t n, std::size_t m) {
   return static_cast<double>(total_rounds) / static_cast<double>(groups);
 }
 
+/// Sub-filter-local runtime of the collective-free resamplers: one inline
+/// Philox chain per group, the same stream keying the filters use. Returns
+/// milliseconds per round; `tally_out`, when non-null, receives the
+/// deterministic per-round work tally (Metropolis chain steps or rejection
+/// trials) of the last round.
+double local_collective_free_ms(Workspace& ws, std::size_t n, std::size_t m,
+                                bool metropolis, std::size_t rounds,
+                                std::uint64_t* tally_out = nullptr) {
+  const std::size_t groups = n / m;
+  const std::size_t steps = resample::metropolis_default_steps(m);
+  std::uint64_t tally = 0;
+  const double ms = time_rounds(rounds, [&] {
+    tally = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t base = g * m;
+      auto w = std::span<const float>(ws.weights).subspan(base, m);
+      auto out = std::span<std::uint32_t>(ws.out).subspan(base, m);
+      prng::PhiloxStream chain(9, g);
+      if (metropolis) {
+        resample::MetropolisCounters mc;
+        resample::metropolis_resample<float>(w, steps, chain, out, &mc);
+        tally += mc.steps;
+      } else {
+        resample::RejectionCounters rc;
+        resample::rejection_resample<float>(w, 1.0f, chain, out,
+                                            resample::kRejectionDefaultMaxTrials,
+                                            &rc);
+        tally += rc.trials;
+      }
+    }
+  });
+  if (tally_out != nullptr) *tally_out = tally;
+  return ms;
+}
+
 /// Sub-filter-local: n/m independent groups of m, the device decomposition.
 double local_ms(Workspace& ws, std::size_t n, std::size_t m, bool vose,
                 std::size_t rounds) {
@@ -136,6 +174,110 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   report.add_table("resampling_ms", table);
+
+  // Four-way policy crossover vs sub-filter width (ROADMAP open item 3):
+  // fixed total population, widening sub-filters. RWS pays a log2(m)-deep
+  // scan + search, Vose a data-dependent build, while Metropolis and
+  // rejection stay collective-free -- fixed chain length resp. ~beta
+  // expected trials per lane regardless of m.
+  const std::size_t xn = std::min<std::size_t>(max_n, std::size_t{1} << 17);
+  Workspace xws(xn);
+  bench_util::Table xtable({"sub-filter width m", "RWS [ms]", "Vose [ms]",
+                            "Metropolis [ms]", "rejection [ms]",
+                            "Metropolis B", "rejection trials/draw"});
+  std::cout << "\nFour-way crossover at " << xn << " total particles:\n";
+  for (std::size_t mw = 16; mw <= std::min<std::size_t>(xn, 4096); mw *= 4) {
+    const std::size_t rounds = std::max<std::size_t>(1, (1u << 19) / xn);
+    std::uint64_t metro_steps = 0;
+    std::uint64_t rej_trials = 0;
+    const double ms_rws = local_ms(xws, xn, mw, false, rounds);
+    const double ms_vose = local_ms(xws, xn, mw, true, rounds);
+    const double ms_metro =
+        local_collective_free_ms(xws, xn, mw, true, rounds, &metro_steps);
+    const double ms_rej =
+        local_collective_free_ms(xws, xn, mw, false, rounds, &rej_trials);
+    xtable.add_row({bench_util::Table::num(mw),
+                    bench_util::Table::num(ms_rws, 3),
+                    bench_util::Table::num(ms_vose, 3),
+                    bench_util::Table::num(ms_metro, 3),
+                    bench_util::Table::num(ms_rej, 3),
+                    bench_util::Table::num(
+                        resample::metropolis_default_steps(mw)),
+                    bench_util::Table::num(
+                        static_cast<double>(rej_trials) /
+                            static_cast<double>(xn),
+                        2)});
+  }
+  xtable.print(std::cout);
+  report.add_table("crossover_vs_width", xtable);
+
+  // Pinned-seed distributed work counters per resampling policy, run at 1
+  // and 2 emulator workers: the work.* tallies are machine- and
+  // worker-count-independent by contract, so both runs must agree bit for
+  // bit (the acceptance check behind the deterministic-counter design).
+  {
+    struct Tally {
+      std::uint64_t rng = 0, metro = 0, rej = 0, lockstep = 0;
+      bool operator==(const Tally&) const = default;
+    };
+    const auto run_counters = [](core::ResampleAlgorithm alg,
+                                 std::size_t workers) {
+      telemetry::Telemetry tel;
+      sim::RobotArmScenario scenario;
+      scenario.reset(4);
+      core::FilterConfig cfg;
+      cfg.particles_per_filter = 64;
+      cfg.num_filters = 32;
+      cfg.resample = alg;
+      cfg.seed = 11;
+      cfg.workers = workers;
+      cfg.telemetry = &tel;
+      core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+          scenario.make_model<float>(), cfg);
+      std::vector<float> z, u;
+      for (int k = 0; k < 10; ++k) {
+        const auto step = scenario.advance();
+        z.assign(step.z.begin(), step.z.end());
+        u.assign(step.u.begin(), step.u.end());
+        pf.step(z, u);
+      }
+      return Tally{tel.registry.counter("work.rng_draws").value(),
+                   tel.registry.counter("work.metropolis_steps").value(),
+                   tel.registry.counter("work.rejection_trials").value(),
+                   tel.registry.counter("work.lockstep_phases").value()};
+    };
+    bench_util::Table wtable({"policy", "work.rng_draws",
+                              "work.metropolis_steps", "work.rejection_trials",
+                              "bit-identical 1 vs 2 workers"});
+    const struct {
+      const char* name;
+      core::ResampleAlgorithm alg;
+    } policies[] = {{"rws", core::ResampleAlgorithm::kRws},
+                    {"vose", core::ResampleAlgorithm::kVose},
+                    {"metropolis", core::ResampleAlgorithm::kMetropolis},
+                    {"rejection", core::ResampleAlgorithm::kRejection}};
+    bool all_identical = true;
+    for (const auto& p : policies) {
+      const Tally one = run_counters(p.alg, 1);
+      const Tally two = run_counters(p.alg, 2);
+      const bool same = one == two;
+      all_identical = all_identical && same;
+      wtable.add_row({p.name, bench_util::Table::num(one.rng),
+                      bench_util::Table::num(one.metro),
+                      bench_util::Table::num(one.rej), same ? "yes" : "NO"});
+      const std::string key = std::string("work_rng_draws_") + p.name;
+      report.add_value(key, static_cast<double>(one.rng));
+    }
+    std::cout << "\nPinned-seed (m=64, N=32, seed=11, 10 steps) work counters:\n";
+    wtable.print(std::cout);
+    report.add_table("policy_work_counters", wtable);
+    report.add_value("work_counters_worker_invariant", all_identical ? 1.0 : 0.0);
+    if (!all_identical) {
+      std::cerr << "error: work counters diverged between 1 and 2 workers\n";
+      return 1;
+    }
+  }
+
   const double rws_barriers = 3.0 * std::log2(static_cast<double>(m));
   std::cout << "\nPaper shape: centralized Vose beats centralized RWS with a gap "
                "widening in n (O(1) vs O(log n) per draw). On m=" << m

@@ -10,6 +10,9 @@
 #include "mcore/thread_pool.hpp"
 #include "models/robot_arm.hpp"
 #include "prng/mtgp_stream.hpp"
+#include "prng/philox.hpp"
+#include "resample/metropolis.hpp"
+#include "resample/rejection.hpp"
 #include "resample/rws.hpp"
 #include "resample/vose.hpp"
 #include "sortnet/bitonic.hpp"
@@ -80,6 +83,35 @@ void BM_RwsResample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_RwsResample)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_MetropolisResample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto w = random_floats(n, 0.01f, 1.0f);
+  std::vector<std::uint32_t> out(n);
+  const std::size_t steps = resample::metropolis_default_steps(n);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    prng::PhiloxStream chain(7, round++);
+    resample::metropolis_resample<float>(w, steps, chain, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MetropolisResample)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_RejectionResample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto w = random_floats(n, 0.01f, 1.0f);
+  std::vector<std::uint32_t> out(n);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    prng::PhiloxStream chain(7, round++);
+    resample::rejection_resample<float>(w, 1.0f, chain, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RejectionResample)->Arg(512)->Arg(4096)->Arg(65536);
 
 void BM_VoseBuildClassic(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -63,6 +63,25 @@ int main(int argc, char** argv) {
   table.add_row(
       {"distributed m=64 N=64 systematic", bench_util::Table::num(rmse_sys, 4)});
 
+  // Collective-free resamplers: Metropolis with a pinned chain length (so
+  // work.metropolis_steps has a closed form) and rejection, whose
+  // work.rejection_trials is data-dependent but still deterministic for a
+  // pinned seed.
+  core::FilterConfig metro_cfg = rws_cfg;
+  metro_cfg.resample = core::ResampleAlgorithm::kMetropolis;
+  metro_cfg.metropolis_steps = 16;
+  const double rmse_metro = bench::distributed_arm_error(metro_cfg, proto);
+  report.add_value("rmse_distributed_metropolis", rmse_metro);
+  table.add_row({"distributed m=64 N=64 Metropolis B=16",
+                 bench_util::Table::num(rmse_metro, 4)});
+
+  core::FilterConfig rej_cfg = rws_cfg;
+  rej_cfg.resample = core::ResampleAlgorithm::kRejection;
+  const double rmse_rej = bench::distributed_arm_error(rej_cfg, proto);
+  report.add_value("rmse_distributed_rejection", rmse_rej);
+  table.add_row({"distributed m=64 N=64 rejection",
+                 bench_util::Table::num(rmse_rej, 4)});
+
   // Centralized double-precision reference with telemetry attached so its
   // work.rng_draws / work.scan_sweeps land in the same registry.
   {

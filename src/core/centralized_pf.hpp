@@ -25,6 +25,8 @@
 #include "prng/distributions.hpp"
 #include "prng/mt19937.hpp"
 #include "resample/ess.hpp"
+#include "resample/metropolis.hpp"
+#include "resample/rejection.hpp"
 #include "resample/rws.hpp"
 #include "resample/systematic.hpp"
 #include "resample/vose.hpp"
@@ -38,6 +40,11 @@ struct CentralizedOptions {
   resample::ResamplePolicy policy = resample::ResamplePolicy::always();
   EstimatorKind estimator = EstimatorKind::kMaxWeight;
   std::uint64_t seed = 42;
+
+  /// Chain length B of the Metropolis resampler (same semantics as
+  /// FilterConfig::metropolis_steps); 0 picks
+  /// resample::metropolis_default_steps(n).
+  std::size_t metropolis_steps = 0;
 
   /// FRIM (finite-redraw importance-maximizing) sampling, after Chao et
   /// al. [19]: a drawn particle whose log-likelihood falls below
@@ -111,6 +118,8 @@ class CentralizedParticleFilter {
       // or sort network; RNG draws and scan sweeps are its cost proxies).
       cnt_rng_ = &tel_->registry.counter("work.rng_draws");
       cnt_scan_ = &tel_->registry.counter("work.scan_sweeps");
+      cnt_metropolis_ = &tel_->registry.counter("work.metropolis_steps");
+      cnt_rejection_ = &tel_->registry.counter("work.rejection_trials");
     }
     initialize();
   }
@@ -248,6 +257,18 @@ class CentralizedParticleFilter {
     mon_->observe_group(step_, 0, ess_ / static_cast<double>(n_), unique,
                         log_n > 0.0 ? entropy / log_n : 1.0, degenerate_,
                         nonfinite_weights_);
+    if (resampled && !degenerate_ &&
+        opts_.resample == ResampleAlgorithm::kMetropolis) {
+      // Weight skew beta = n * w_max / W; max-normalization pins w_max to 1.
+      double wsum = 0.0;
+      for (const T w : weights_) wsum += static_cast<double>(w);
+      const double beta =
+          wsum > 0.0 ? static_cast<double>(n_) / wsum : static_cast<double>(n_);
+      const std::size_t steps = opts_.metropolis_steps > 0
+                                    ? opts_.metropolis_steps
+                                    : resample::metropolis_default_steps(n_);
+      mon_->observe_metropolis(step_, 0, beta, steps);
+    }
   }
 
   /// Converts log-weights to max-normalized linear weights in `weights_`
@@ -350,11 +371,44 @@ class CentralizedParticleFilter {
         resample::stratified_resample<T>(w, uniform_scratch(), out, cumsum_, ncp);
         break;
       }
+      case ResampleAlgorithm::kMetropolis: {
+        const std::size_t steps =
+            opts_.metropolis_steps > 0
+                ? opts_.metropolis_steps
+                : resample::metropolis_default_steps(n_);
+        resample::MetropolisCounters mc;
+        resample::metropolis_resample<T>(w, steps, rng_, out, &mc);
+        if (cnt_metropolis_) cnt_metropolis_->add(mc.steps);
+        note_rng(mc.rng_draws);
+        break;
+      }
+      case ResampleAlgorithm::kRejection: {
+        // Max-normalized weights bound every weight by exactly 1.
+        resample::RejectionCounters rc;
+        resample::rejection_resample<T>(w, T(1), rng_, out,
+                                        resample::kRejectionDefaultMaxTrials,
+                                        &rc);
+        if (cnt_rejection_) cnt_rejection_->add(rc.trials);
+        note_rng(rc.rng_draws);
+        break;
+      }
     }
     if (cnt_scan_) cnt_scan_->add(nc.scan_sweeps);
     if (opts_.check_invariants) {
       debug::check_index_set(out, n_, 0);
-      debug::check_resample_distribution<T>(w, out, 0);
+      if (opts_.resample == ResampleAlgorithm::kMetropolis) {
+        // Finite-B Metropolis is biased by design; validate against the
+        // exact B-step chain distribution instead of the weights.
+        const std::size_t steps = opts_.metropolis_steps > 0
+                                      ? opts_.metropolis_steps
+                                      : resample::metropolis_default_steps(n_);
+        debug::check_metropolis_distribution<T>(w, out, steps, 0);
+      } else {
+        debug::check_resample_distribution<T>(w, out, 0);
+      }
+      if (opts_.resample == ResampleAlgorithm::kRejection) {
+        debug::check_weight_bound<T>(w, T(1), 0);
+      }
     }
     sortnet::gather_rows<T, std::uint32_t>(cur_.raw_state(), aux_.raw_state(),
                                            out, model_.state_dim());
@@ -428,6 +482,8 @@ class CentralizedParticleFilter {
   monitor::HealthMonitor* mon_ = nullptr;
   telemetry::Counter* cnt_rng_ = nullptr;
   telemetry::Counter* cnt_scan_ = nullptr;
+  telemetry::Counter* cnt_metropolis_ = nullptr;
+  telemetry::Counter* cnt_rejection_ = nullptr;
   std::array<telemetry::LatencyHistogram*, kStageCount> stage_hist_{};
   std::vector<std::uint32_t> unique_scratch_;
   double ess_ = 0.0;

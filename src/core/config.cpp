@@ -13,6 +13,8 @@ const char* to_string(ResampleAlgorithm a) {
     case ResampleAlgorithm::kVose: return "vose";
     case ResampleAlgorithm::kSystematic: return "systematic";
     case ResampleAlgorithm::kStratified: return "stratified";
+    case ResampleAlgorithm::kMetropolis: return "metropolis";
+    case ResampleAlgorithm::kRejection: return "rejection";
   }
   return "?";
 }
@@ -22,6 +24,8 @@ ResampleAlgorithm parse_resample_algorithm(const std::string& name) {
   if (name == "vose" || name == "alias") return ResampleAlgorithm::kVose;
   if (name == "systematic") return ResampleAlgorithm::kSystematic;
   if (name == "stratified") return ResampleAlgorithm::kStratified;
+  if (name == "metropolis") return ResampleAlgorithm::kMetropolis;
+  if (name == "rejection") return ResampleAlgorithm::kRejection;
   throw std::invalid_argument("unknown resampling algorithm: " + name);
 }
 
@@ -68,8 +72,16 @@ std::string FilterConfig::summary() const {
   std::ostringstream os;
   os << "m=" << particles_per_filter << " N=" << num_filters
      << " (total=" << total_particles() << ") X=" << topology::to_string(scheme)
-     << " t=" << exchange_particles << " resample=" << to_string(resample)
-     << " estimator=" << to_string(estimator) << " seed=" << seed;
+     << " t=" << exchange_particles << " resample=" << to_string(resample);
+  if (resample == ResampleAlgorithm::kMetropolis) {
+    os << " B=";
+    if (metropolis_steps > 0) {
+      os << metropolis_steps;
+    } else {
+      os << "auto";
+    }
+  }
+  os << " estimator=" << to_string(estimator) << " seed=" << seed;
   if (check_invariants) os << " checked";
   return os.str();
 }

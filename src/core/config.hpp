@@ -30,7 +30,16 @@ enum class ResampleAlgorithm : std::uint8_t {
   kVose,        ///< Vose's alias method (in-place device construction)
   kSystematic,  ///< low-variance comb (extension)
   kStratified,  ///< one draw per stratum (extension)
+  kMetropolis,  ///< collective-free Metropolis chains (Murray; biased for finite B)
+  kRejection,   ///< collective-free rejection against w_max (unbiased)
 };
+
+/// True for the collective-free resamplers (no scan, no sort, no alias
+/// build inside the lock-step schedule) - the Murray family this library
+/// adds on top of the paper's RWS/Vose pair.
+[[nodiscard]] constexpr bool is_collective_free(ResampleAlgorithm a) {
+  return a == ResampleAlgorithm::kMetropolis || a == ResampleAlgorithm::kRejection;
+}
 
 [[nodiscard]] const char* to_string(ResampleAlgorithm a);
 [[nodiscard]] ResampleAlgorithm parse_resample_algorithm(const std::string& name);
@@ -54,6 +63,14 @@ struct FilterConfig {
   std::size_t exchange_particles = 1;      ///< t (Table II: 1)
   ResampleAlgorithm resample = ResampleAlgorithm::kRws;
   resample::ResamplePolicy policy = resample::ResamplePolicy::always();
+
+  /// Chain length B of the Metropolis resampler (ignored by every other
+  /// algorithm). 0 picks resample::metropolis_default_steps(m). Longer
+  /// chains cost 2*B inline RNG draws per particle but shrink the
+  /// resampling bias like (1 - 1/beta)^B; the HealthMonitor's
+  /// `metropolis_bias` detector flags step counts below the recommended
+  /// bound for the observed weight skew.
+  std::size_t metropolis_steps = 0;
   EstimatorKind estimator = EstimatorKind::kMaxWeight;
   prng::Generator generator = prng::Generator::kMtgp;
   std::uint64_t seed = 42;

@@ -39,7 +39,10 @@
 #include "models/model.hpp"
 #include "monitor/monitor.hpp"
 #include "prng/mtgp_stream.hpp"
+#include "prng/philox.hpp"
 #include "resample/ess.hpp"
+#include "resample/metropolis.hpp"
+#include "resample/rejection.hpp"
 #include "resample/rws.hpp"
 #include "resample/systematic.hpp"
 #include "resample/vose.hpp"
@@ -279,6 +282,16 @@ class DistributedParticleFilter {
     // Uniforms per group: worst-case resampler demand (Vose: 2 per draw)
     // plus one policy coin.
     roughening_offset_ = m_ * std::max(model_.noise_dim(), model_.init_noise_dim());
+    // Collective-free resamplers draw inline from counter-based per-(group,
+    // step) Philox streams instead of the pre-filled buffer (their demand -
+    // 2*B*m for Metropolis, unbounded for rejection - does not fit a sized
+    // buffer; on the real device each lane owns a counter-based stream).
+    // The chain seed is SplitMix64-decorrelated from the filter seed so the
+    // inline streams never collide with the buffer-filling streams.
+    chain_seed_ = prng::SplitMix64(cfg_.seed ^ 0x4d6574726f506f6cull)();
+    metropolis_steps_ = cfg_.metropolis_steps > 0
+                            ? cfg_.metropolis_steps
+                            : resample::metropolis_default_steps(m_);
     const std::size_t npg =
         roughening_offset_ + (cfg_.roughening_k > 0.0 ? m_ * dim_ : 0);
     const std::size_t upg = 2 * m_ + 1;
@@ -295,6 +308,7 @@ class DistributedParticleFilter {
     group_entropy_.assign(n_filters_, 0.0);
     group_degenerate_.assign(n_filters_, 0);
     group_nonfinite_.assign(n_filters_, 0);
+    group_beta_.assign(n_filters_, 1.0);
     // Exchange volume is a topology constant: particles written per round
     // when the exchange stage runs at all.
     if (cfg_.scheme == topology::ExchangeScheme::kNone ||
@@ -335,6 +349,8 @@ class DistributedParticleFilter {
       cnt_cmpex_ = &tel_->registry.counter("work.compare_exchanges");
       cnt_scan_ = &tel_->registry.counter("work.scan_sweeps");
       cnt_rng_ = &tel_->registry.counter("work.rng_draws");
+      cnt_metropolis_ = &tel_->registry.counter("work.metropolis_steps");
+      cnt_rejection_ = &tel_->registry.counter("work.rejection_trials");
     }
     initialize();
   }
@@ -676,6 +692,14 @@ class DistributedParticleFilter {
       resampled_flags_[g] = 1;
       auto out = std::span<std::uint32_t>(resample_out_).subspan(base, m_);
       auto cumsum = std::span<T>(cumsum_).subspan(base, m_);
+      if (mon_ && cfg_.resample == ResampleAlgorithm::kMetropolis) {
+        // Weight skew beta = m * w_max / W for the metropolis_bias
+        // detector; max-normalization pins w_max to 1.
+        double wsum = 0.0;
+        for (const T v : w) wsum += static_cast<double>(v);
+        group_beta_[g] = wsum > 0.0 ? static_cast<double>(m_) / wsum
+                                    : static_cast<double>(m_);
+      }
       sortnet::NetCounters nc;
       sortnet::NetCounters* ncp = cnt_scan_ ? &nc : nullptr;
       switch (cfg_.resample) {
@@ -699,6 +723,34 @@ class DistributedParticleFilter {
           resample::stratified_resample<T>(w, uniforms.first(m_), out, cumsum,
                                            ncp);
           break;
+        case ResampleAlgorithm::kMetropolis: {
+          prng::PhiloxStream chain(chain_seed_, chain_stream(g));
+          resample::MetropolisCounters mc;
+          resample::metropolis_resample<T>(std::span<const T>(w),
+                                           metropolis_steps_, chain, out, &mc);
+          if (cnt_metropolis_) {
+            cnt_metropolis_->add(mc.steps);
+            cnt_rng_->add(mc.rng_draws);
+            // Every chain step is one lock-step phase of the launch.
+            cnt_lockstep_->add(metropolis_steps_);
+          }
+          break;
+        }
+        case ResampleAlgorithm::kRejection: {
+          prng::PhiloxStream chain(chain_seed_, chain_stream(g));
+          resample::RejectionCounters rc;
+          // Max-normalized weights bound every weight by exactly 1.
+          resample::rejection_resample<T>(std::span<const T>(w), T(1), chain,
+                                          out,
+                                          resample::kRejectionDefaultMaxTrials,
+                                          &rc);
+          if (cnt_rejection_) {
+            cnt_rejection_->add(rc.trials);
+            cnt_rng_->add(rc.rng_draws);
+            cnt_lockstep_->add(rc.max_trials);  // deepest lane = phase count
+          }
+          break;
+        }
       }
       if (cnt_scan_) {
         cnt_scan_->add(nc.scan_sweeps);
@@ -725,8 +777,24 @@ class DistributedParticleFilter {
         const auto out =
             std::span<const std::uint32_t>(resample_out_).subspan(g * m_, m_);
         debug::check_index_set(out, m_, g);
-        debug::check_resample_distribution<T>(
-            std::span<const T>(weights_).subspan(g * m_, m_), out, g);
+        if (cfg_.resample == ResampleAlgorithm::kMetropolis &&
+            !group_degenerate_[g]) {
+          // Finite-B Metropolis is biased by design; validate against the
+          // exact B-step chain distribution instead of the weights.
+          debug::check_metropolis_distribution<T>(
+              std::span<const T>(weights_).subspan(g * m_, m_), out,
+              metropolis_steps_, g);
+        } else {
+          debug::check_resample_distribution<T>(
+              std::span<const T>(weights_).subspan(g * m_, m_), out, g);
+        }
+        if (cfg_.resample == ResampleAlgorithm::kRejection &&
+            !group_degenerate_[g]) {
+          // Rejection's correctness hinges on w_max bounding every weight;
+          // the max-normalization contract pins that bound to 1.
+          debug::check_weight_bound<T>(
+              std::span<const T>(weights_).subspan(g * m_, m_), T(1), g);
+        }
       }
     }
     ess_sum_ = 0.0;
@@ -808,6 +876,21 @@ class DistributedParticleFilter {
                           group_degenerate_[g] != 0, group_nonfinite_[g]);
     }
     mon_->observe_exchange_volume(step_, static_cast<double>(exchange_volume_));
+    if (cfg_.resample == ResampleAlgorithm::kMetropolis) {
+      for (std::size_t g = 0; g < n_filters_; ++g) {
+        if (!resampled_flags_[g] || group_degenerate_[g]) continue;
+        mon_->observe_metropolis(step_, static_cast<std::int64_t>(g),
+                                 group_beta_[g], metropolis_steps_);
+      }
+    }
+  }
+
+  /// Philox stream id of group g's inline resampling chain this round: the
+  /// (step, group) pair, so every round of every group is an independent
+  /// stream regardless of worker count or scheduling.
+  [[nodiscard]] std::uint64_t chain_stream(std::size_t g) const {
+    return (static_cast<std::uint64_t>(step_) << 32) |
+           static_cast<std::uint64_t>(g);
   }
 
   /// Gordon roughening of group g's freshly resampled population (in aux_):
@@ -881,11 +964,16 @@ class DistributedParticleFilter {
   telemetry::Counter* cnt_cmpex_ = nullptr;
   telemetry::Counter* cnt_scan_ = nullptr;
   telemetry::Counter* cnt_rng_ = nullptr;
+  telemetry::Counter* cnt_metropolis_ = nullptr;
+  telemetry::Counter* cnt_rejection_ = nullptr;
   std::vector<double> group_ess_;
   std::vector<double> group_unique_;
   std::vector<double> group_entropy_;
   std::vector<std::uint8_t> group_degenerate_;
   std::vector<std::uint64_t> group_nonfinite_;
+  std::vector<double> group_beta_;
+  std::uint64_t chain_seed_ = 0;
+  std::size_t metropolis_steps_ = 0;
   std::size_t exchange_volume_ = 0;
   double ess_sum_ = 0.0;
   double unique_sum_ = 0.0;

@@ -141,6 +141,82 @@ void check_resample_distribution(std::span<const T> weights,
   }
 }
 
+/// Post-condition of Metropolis resampling: the ancestor counts match the
+/// *B-step chain* distribution, not the weight distribution -- for finite B
+/// the chain is biased by design, so check_resample_distribution's null
+/// hypothesis is wrong for it. This checker advances the exact Metropolis
+/// transition kernel (propose uniform, accept min(1, w_j/w_k)) B times from
+/// the lanes' self-start (one chain per index) and applies the same
+/// chi-square smoke bound against the resulting expected counts. O(n^2 * B)
+/// host-side; groups past the `max_work` budget are skipped (checked mode
+/// targets small debug configurations).
+template <typename T>
+void check_metropolis_distribution(std::span<const T> weights,
+                                   std::span<const std::uint32_t> ancestors,
+                                   std::size_t chain_steps, std::size_t group,
+                                   double factor = 12.0,
+                                   std::size_t max_work = std::size_t{1} << 22,
+                                   const char* kernel = "resampling") {
+  const std::size_t n = weights.size();
+  if (n < 8 || chain_steps == 0) return;
+  if (n * n * chain_steps > max_work) return;
+  // Expected counts: one lane starts on every index, so the count vector
+  // starts at all-ones and is pushed through the transition kernel B times.
+  std::vector<double> x(n, 1.0);
+  std::vector<double> next(n);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t b = 0; b < chain_steps; ++b) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double mass = x[k];
+      if (mass <= 0.0) continue;
+      const double wk = static_cast<double>(weights[k]);
+      double stay = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double wj = static_cast<double>(weights[j]);
+        const double accept =
+            wk <= 0.0 ? 1.0 : (wj >= wk ? 1.0 : wj / wk);
+        next[j] += mass * inv_n * accept;
+        stay += inv_n * (1.0 - accept);
+      }
+      next[k] += mass * stay;
+    }
+    x.swap(next);
+  }
+  std::size_t bins = 0;
+  const double chi2 = chi_square_statistic(x, ancestors, &bins);
+  const double bound = factor * static_cast<double>(bins) + 100.0;
+  if (chi2 > bound) {
+    fail(kernel,
+         "ancestor distribution failed the Metropolis chain chi-square "
+         "bound: chi2=" +
+             std::to_string(chi2) + " > " + std::to_string(bound) + " (" +
+             std::to_string(bins) + " bins, B=" + std::to_string(chain_steps) +
+             ")",
+         group);
+  }
+}
+
+/// Pre-condition of rejection resampling: every weight lies in [0, w_max].
+/// Rejection's acceptance test u < w/w_max is only a valid thinning when
+/// w_max bounds the weights; a weight above the bound is silently
+/// under-sampled, the exact bug class this check exists to surface.
+template <typename T>
+void check_weight_bound(std::span<const T> weights, T w_max, std::size_t group,
+                        const char* kernel = "resampling") {
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const T w = weights[i];
+    if (!(w >= T(0)) || w > w_max) {
+      fail(kernel,
+           "weight " + std::to_string(i) + " = " +
+               std::to_string(static_cast<double>(w)) +
+               " outside [0, w_max=" + std::to_string(static_cast<double>(w_max)) +
+               "] fed to rejection resampling",
+           group);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // InvariantChecker: per-filter stateful checker.
 // ---------------------------------------------------------------------------

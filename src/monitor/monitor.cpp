@@ -3,6 +3,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "resample/metropolis.hpp"
 #include "telemetry/json.hpp"
 
 namespace esthera::monitor {
@@ -95,6 +96,17 @@ void HealthMonitor::observe_exchange_volume(std::uint64_t step, double volume) {
   const double denom = ref > 1.0 ? ref : 1.0;
   if (std::abs(volume - ref) / denom > cfg_.exchange_tolerance) {
     raise(Severity::kWarning, "exchange_anomaly", step, kNoGroup, volume, ref);
+  }
+}
+
+void HealthMonitor::observe_metropolis(std::uint64_t step, std::int64_t group,
+                                       double beta, std::uint64_t chain_steps) {
+  std::lock_guard lock(mutex_);
+  const std::size_t recommended = resample::metropolis_recommended_steps(
+      beta, cfg_.metropolis_bias_epsilon);
+  if (chain_steps < recommended) {
+    raise(Severity::kWarning, "metropolis_bias", step, group,
+          static_cast<double>(chain_steps), static_cast<double>(recommended));
   }
 }
 

@@ -16,6 +16,9 @@
 //                      leak; -inf is legitimate likelihood underflow)
 //   exchange_anomaly   exchange volume deviating from the first observed
 //                      reference volume by more than exchange_tolerance
+//   metropolis_bias    a Metropolis-resampling group's chain length below
+//                      the recommended bound for its observed weight skew
+//                      (bias decays like (1-1/beta)^B; Murray, PAPERS.md)
 //
 // Attachment mirrors telemetry exactly: filters carry a nullable
 // `monitor::HealthMonitor*` (FilterConfig::monitor /
@@ -58,6 +61,12 @@ struct MonitorConfig {
   /// from the first observed (reference) volume by more than this relative
   /// tolerance.
   double exchange_tolerance = 0.5;
+  /// metropolis_bias fires when a Metropolis-resampling group's configured
+  /// chain length falls below the step count needed to bring the per-lane
+  /// total-variation distance under this epsilon for the observed weight
+  /// skew beta = m * w_max / W (the bias bound decays like (1-1/beta)^B;
+  /// see resample::metropolis_recommended_steps).
+  double metropolis_bias_epsilon = 0.05;
   /// Rate limit: after an event fires for a (detector, group) pair, further
   /// trips of that pair are suppressed (counted, not emitted) until this
   /// many steps have passed. 0 emits every trip.
@@ -108,6 +117,14 @@ class HealthMonitor {
   /// becomes the reference; later deviations beyond the tolerance fire
   /// exchange_anomaly.
   void observe_exchange_volume(std::uint64_t step, double volume);
+
+  /// Metropolis-resampling health sample: `beta` is the group's weight
+  /// skew m * w_max / W this round and `chain_steps` the configured chain
+  /// length B. Fires metropolis_bias (value = B, threshold = recommended
+  /// B*) when B is too short to bound the resampling bias by
+  /// MonitorConfig::metropolis_bias_epsilon at this skew.
+  void observe_metropolis(std::uint64_t step, std::int64_t group, double beta,
+                          std::uint64_t chain_steps);
 
   // -- results -----------------------------------------------------------
 

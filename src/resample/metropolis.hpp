@@ -1,0 +1,101 @@
+// Metropolis resampling (Murray, "GPU acceleration of the particle filter:
+// the Metropolis resampler"; see PAPERS.md). Every output lane runs an
+// independent Metropolis chain over the particle indices with the weights
+// as the target distribution: start at the lane's own index, repeatedly
+// propose a uniformly random candidate and accept it with probability
+// min(1, w_candidate / w_current). After B steps the chain's position is
+// the lane's ancestor.
+//
+// The point is what the kernel does NOT need: no prefix sum, no sorted
+// weights, no alias table - no collective at all. Each lane touches two
+// weights per step and constant local memory, so the kernel scales to
+// sub-filter widths where RWS's scan and Vose's build rounds dominate
+// (paper Fig 5; ROADMAP open item 3). The price is bias: the chain only
+// converges to the weight distribution as B grows. The total-variation
+// distance decays like (1 - 1/beta)^B where beta = n * w_max / W is the
+// weight skew, which `metropolis_recommended_steps` inverts; the
+// HealthMonitor's `metropolis_bias` detector flags configurations whose
+// step count is below that bound.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "prng/distributions.hpp"
+
+namespace esthera::resample {
+
+/// Deterministic work tallies of one Metropolis resampling launch; folded
+/// into work.metropolis_steps / work.rng_draws by the filters.
+struct MetropolisCounters {
+  std::uint64_t steps = 0;      ///< chain steps taken (lanes x B)
+  std::uint64_t rng_draws = 0;  ///< inline variates consumed (2 per step)
+};
+
+/// Maps one 32-bit draw to an index in [0, n) by fixed-point multiply
+/// (Lemire): unbiased enough for resampling and branch-free, unlike modulo.
+inline std::uint32_t bounded_index(std::uint32_t bits, std::size_t n) {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(bits) * static_cast<std::uint64_t>(n)) >> 32);
+}
+
+/// Chain length that brings the per-lane total-variation distance below
+/// `epsilon` for weight skew `beta` = n * w_max / W (>= 1). The chain's
+/// worst-case TV distance contracts by (1 - 1/beta) per step, so
+/// B* = ceil(log(epsilon) / log(1 - 1/beta)). Uniform weights (beta <= 1)
+/// need a single step; astronomical skew is capped so the bound stays
+/// usable as a monitor threshold rather than overflowing.
+inline std::size_t metropolis_recommended_steps(double beta, double epsilon) {
+  if (!(beta > 1.0) || !(epsilon > 0.0) || epsilon >= 1.0) return 1;
+  const double rate = std::log1p(-1.0 / beta);  // log(1 - 1/beta) < 0
+  const double steps = std::ceil(std::log(epsilon) / rate);
+  if (!(steps > 1.0)) return 1;
+  if (steps > 1e6) return 1000000;
+  return static_cast<std::size_t>(steps);
+}
+
+/// Default chain length when the caller does not pin one: 2*ceil(log2(n))
+/// with a floor of 16, the "a few dozen steps suffice in practice" regime
+/// Murray reports for moderately skewed weights.
+inline std::size_t metropolis_default_steps(std::size_t n) {
+  std::size_t lg = 0;
+  while ((std::size_t{1} << lg) < n) ++lg;
+  const std::size_t steps = 2 * lg;
+  return steps < 16 ? 16 : steps;
+}
+
+/// Draws `out.size()` ancestor indices from the discrete distribution given
+/// by `weights` (non-negative, not necessarily normalized) by running one
+/// B-step Metropolis chain per output lane. Consumes 2*B inline variates
+/// per lane from `rng` (an index draw and an acceptance coin per step);
+/// no scratch, no collective. Collective-free but biased for finite B.
+template <typename T, typename Rng>
+void metropolis_resample(std::span<const T> weights, std::size_t chain_steps,
+                         Rng& rng, std::span<std::uint32_t> out,
+                         MetropolisCounters* mc = nullptr) {
+  const std::size_t n = weights.size();
+  assert(n > 0 && chain_steps > 0);
+  assert(out.size() <= n || n > 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint32_t k = static_cast<std::uint32_t>(i < n ? i : i % n);
+    for (std::size_t b = 0; b < chain_steps; ++b) {
+      const std::uint32_t j = bounded_index(rng(), n);
+      const T u = prng::uniform01<T>(rng);
+      // Accept with min(1, w_j / w_k); the guard keeps a zero-weight start
+      // (w_k == 0) from trapping the chain via 0/0.
+      if (weights[k] <= T(0) || u * weights[k] < weights[j]) k = j;
+    }
+    out[i] = k;
+  }
+  if (mc != nullptr) {
+    const std::uint64_t steps =
+        static_cast<std::uint64_t>(out.size()) * chain_steps;
+    mc->steps += steps;
+    mc->rng_draws += 2 * steps;
+  }
+}
+
+}  // namespace esthera::resample

@@ -1,0 +1,80 @@
+// Rejection resampling (Murray / Lee / Jacob, "Rethinking resampling in the
+// particle filter on graphics processing units"; see PAPERS.md). Every
+// output lane draws its ancestor by rejection against the maximum weight:
+// the first candidate is the lane's own index (the "self-first" rule that
+// keeps a heavy particle as its own ancestor with high probability), then
+// uniformly random candidates until one passes u < w_candidate / w_max.
+//
+// Acceptance probability is proportional to the weight, so the scheme is
+// unbiased: E[copies of k] = n * w_k / W exactly, unlike Metropolis - but
+// the trial count per lane is geometric with mean beta = n * w_max / W, so
+// runtime degrades with weight skew where Metropolis stays fixed-cost.
+// Like Metropolis it needs no collective: only w_max, which the sorted
+// local population provides for free (and which max-normalized weights pin
+// to 1). A trial cap keeps the kernel real-time bounded; an exhausted lane
+// deterministically keeps its final candidate, a bias of order
+// (1 - 1/beta)^cap.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "prng/distributions.hpp"
+#include "resample/metropolis.hpp"  // bounded_index
+
+namespace esthera::resample {
+
+/// Deterministic work tallies of one rejection resampling launch; folded
+/// into work.rejection_trials / work.rng_draws by the filters.
+struct RejectionCounters {
+  std::uint64_t trials = 0;      ///< candidate tests across all lanes
+  std::uint64_t max_trials = 0;  ///< deepest lane = lock-step phase count
+  std::uint64_t rng_draws = 0;   ///< inline variates consumed
+};
+
+/// Default per-lane trial cap: deep enough that exhaustion is negligible
+/// for any weight skew the degenerate-group fallback has not already
+/// caught, shallow enough to bound the lock-step schedule.
+inline constexpr std::size_t kRejectionDefaultMaxTrials = 128;
+
+/// Draws `out.size()` ancestor indices from the discrete distribution given
+/// by `weights` by per-lane rejection against `w_max` (an upper bound on
+/// every weight; max-normalized weights use exactly 1). Consumes one coin
+/// for the self-first trial plus two variates (index + coin) per further
+/// trial, inline from `rng`; no scratch, no collective.
+template <typename T, typename Rng>
+void rejection_resample(std::span<const T> weights, T w_max, Rng& rng,
+                        std::span<std::uint32_t> out,
+                        std::size_t max_trials = kRejectionDefaultMaxTrials,
+                        RejectionCounters* rc = nullptr) {
+  const std::size_t n = weights.size();
+  assert(n > 0 && w_max > T(0) && max_trials > 0);
+  std::uint64_t total_trials = 0;
+  std::uint64_t deepest = 0;
+  std::uint64_t draws = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // Self-first: lane i tests its own index before drawing random ones.
+    std::uint32_t j = static_cast<std::uint32_t>(i < n ? i : i % n);
+    std::uint64_t trials = 0;
+    for (;;) {
+      ++trials;
+      const T u = prng::uniform01<T>(rng);
+      ++draws;
+      if (u * w_max < weights[j] || trials >= max_trials) break;
+      j = bounded_index(rng(), n);
+      ++draws;
+    }
+    out[i] = j;
+    total_trials += trials;
+    if (trials > deepest) deepest = trials;
+  }
+  if (rc != nullptr) {
+    rc->trials += total_trials;
+    if (deepest > rc->max_trials) rc->max_trials = deepest;
+    rc->rng_draws += draws;
+  }
+}
+
+}  // namespace esthera::resample

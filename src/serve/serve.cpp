@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "resample/metropolis.hpp"
+
 namespace esthera::serve {
 
 const char* to_string(Admission a) {
@@ -46,11 +48,30 @@ std::uint64_t step_cost_model(const core::FilterConfig& cfg,
   std::uint64_t log2m = 0;
   while ((std::uint64_t{1} << log2m) < m) ++log2m;
   // Per group and per round: the bitonic network's compare-exchanges
-  // (log2(m)*(log2(m)+1)/2 phases of m/2 lanes), one transition draw plus
-  // two resampling uniforms per particle, and per-particle sampling work
-  // proportional to the state dimension.
+  // (log2(m)*(log2(m)+1)/2 phases of m/2 lanes), one transition draw per
+  // particle plus the resampler's per-particle RNG demand, and per-particle
+  // sampling work proportional to the state dimension.
   const std::uint64_t sort_ce = (log2m * (log2m + 1) / 2) * (m / 2);
-  const std::uint64_t rng = m * (dim + 2) + 1;
+  // Resampler RNG demand per particle: the buffer-fed algorithms draw at
+  // most 2 uniforms per draw (Vose); the collective-free ones draw inline,
+  // 2 per Metropolis chain step and ~2 expected trials for rejection.
+  std::uint64_t resample_draws = 2;
+  switch (cfg.resample) {
+    case core::ResampleAlgorithm::kMetropolis: {
+      const std::uint64_t steps =
+          cfg.metropolis_steps > 0
+              ? cfg.metropolis_steps
+              : resample::metropolis_default_steps(cfg.particles_per_filter);
+      resample_draws = 2 * steps;
+      break;
+    }
+    case core::ResampleAlgorithm::kRejection:
+      resample_draws = 4;  // ~2 expected trials (index + coin each)
+      break;
+    default:
+      break;
+  }
+  const std::uint64_t rng = m * (dim + resample_draws) + 1;
   const std::uint64_t sampling = m * dim;
   return n * (sort_ce + rng + sampling);
 }

@@ -20,6 +20,8 @@
 #include "device/invariants.hpp"
 #include "models/growth.hpp"
 #include "models/robot_arm.hpp"
+#include "prng/philox.hpp"
+#include "resample/metropolis.hpp"
 #include "sim/ground_truth.hpp"
 #include "sortnet/bitonic.hpp"
 
@@ -118,6 +120,51 @@ TEST(InvariantCheckers, ChiSquareLumpsTinyWeightBins) {
   w[5] = 1.0;
   std::vector<std::uint32_t> anc(m, 5u);
   EXPECT_NO_THROW(debug::check_resample_distribution<double>(w, anc, 0));
+}
+
+TEST(InvariantCheckers, MetropolisDistributionAcceptsFaithfulChain) {
+  // Run the actual kernel with a healthy chain length; the checker's
+  // expected counts come from the exact B-step transition kernel, so a
+  // faithful implementation passes even where the stationary-distribution
+  // check (check_resample_distribution) would reject residual bias.
+  const std::size_t m = 32;
+  std::vector<double> w(m, 0.05);
+  w[3] = 1.0;
+  std::vector<std::uint32_t> anc(m);
+  prng::PhiloxStream rng(11, 0);
+  resample::metropolis_resample<double>(w, 16, rng, anc);
+  EXPECT_NO_THROW(debug::check_metropolis_distribution<double>(w, anc, 16, 0));
+}
+
+TEST(InvariantCheckers, MetropolisDistributionCatchesConstantAncestor) {
+  const std::size_t m = 32;
+  std::vector<double> w(m, 1.0);  // uniform target, any B
+  std::vector<std::uint32_t> anc(m, 7u);
+  EXPECT_THROW(debug::check_metropolis_distribution<double>(w, anc, 16, 0),
+               debug::InvariantViolation);
+}
+
+TEST(InvariantCheckers, MetropolisDistributionSkipsOversizedWork) {
+  // n^2 * B past the work cap: the checker must back off, not stall.
+  const std::size_t m = 64;
+  std::vector<double> w(m, 1.0);
+  std::vector<std::uint32_t> anc(m, 7u);  // would fail if checked
+  EXPECT_NO_THROW(debug::check_metropolis_distribution<double>(
+      w, anc, 16, 0, 12.0, /*max_work=*/100));
+}
+
+TEST(InvariantCheckers, WeightBoundAcceptsInRangeRejectsOutside) {
+  const std::vector<double> ok = {0.0, 0.5, 1.0};
+  EXPECT_NO_THROW(debug::check_weight_bound<double>(ok, 1.0, 0));
+  const std::vector<double> above = {0.5, 1.5};
+  EXPECT_THROW(debug::check_weight_bound<double>(above, 1.0, 0),
+               debug::InvariantViolation);
+  const std::vector<double> negative = {-0.1, 0.5};
+  EXPECT_THROW(debug::check_weight_bound<double>(negative, 1.0, 0),
+               debug::InvariantViolation);
+  const std::vector<double> nan = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(debug::check_weight_bound<double>(nan, 1.0, 0),
+               debug::InvariantViolation);
 }
 
 // ---------------------------------------------------------------------------
@@ -237,7 +284,8 @@ void run_growth_steps(core::DistributedParticleFilter<models::GrowthModel<T>>& p
 TEST(CheckedFilter, AllResamplersRunCleanUnderChecking) {
   for (const auto alg :
        {core::ResampleAlgorithm::kRws, core::ResampleAlgorithm::kVose,
-        core::ResampleAlgorithm::kSystematic, core::ResampleAlgorithm::kStratified}) {
+        core::ResampleAlgorithm::kSystematic, core::ResampleAlgorithm::kStratified,
+        core::ResampleAlgorithm::kMetropolis, core::ResampleAlgorithm::kRejection}) {
     core::FilterConfig cfg = checked_config();
     cfg.resample = alg;
     core::DistributedParticleFilter<models::GrowthModel<double>> pf(

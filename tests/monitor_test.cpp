@@ -16,6 +16,7 @@
 #include "models/model.hpp"
 #include "models/robot_arm.hpp"
 #include "monitor/monitor.hpp"
+#include "resample/metropolis.hpp"
 #include "sim/ground_truth.hpp"
 #include "telemetry/json.hpp"
 
@@ -147,6 +148,33 @@ TEST(Monitor, ZeroCooldownEmitsEveryTrip) {
   }
   EXPECT_EQ(mon.count("ess_collapse"), 4u);
   EXPECT_EQ(mon.suppressed_count(), 0u);
+}
+
+TEST(Monitor, MetropolisBiasTripsOnUnderSizedChain) {
+  monitor::HealthMonitor mon;
+  // beta = 8 at the default epsilon needs ~dozens of steps; 4 is far
+  // short, so the detector raises with the recommended count as threshold.
+  mon.observe_metropolis(/*step=*/2, /*group=*/5, /*beta=*/8.0,
+                         /*chain_steps=*/4);
+  ASSERT_EQ(mon.count("metropolis_bias"), 1u);
+  const auto events = mon.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].severity, monitor::Severity::kWarning);
+  EXPECT_EQ(events[0].group, 5);
+  EXPECT_DOUBLE_EQ(events[0].value, 4.0);
+  EXPECT_DOUBLE_EQ(events[0].threshold,
+                   static_cast<double>(resample::metropolis_recommended_steps(
+                       8.0, mon.config().metropolis_bias_epsilon)));
+}
+
+TEST(Monitor, MetropolisBiasSilentWhenChainIsLongEnough) {
+  monitor::HealthMonitor mon;
+  const std::size_t enough = resample::metropolis_recommended_steps(
+      8.0, mon.config().metropolis_bias_epsilon);
+  mon.observe_metropolis(0, 0, 8.0, enough);
+  mon.observe_metropolis(1, 0, 1.0, 1);  // uniform weights: one step is fine
+  EXPECT_EQ(mon.count("metropolis_bias"), 0u);
+  EXPECT_EQ(mon.event_count(), 0u);
 }
 
 TEST(Monitor, RetentionCapKeepsCountingPastMaxEvents) {

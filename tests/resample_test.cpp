@@ -14,7 +14,10 @@
 
 #include "prng/distributions.hpp"
 #include "prng/mt19937.hpp"
+#include "prng/philox.hpp"
 #include "resample/ess.hpp"
+#include "resample/metropolis.hpp"
+#include "resample/rejection.hpp"
 #include "resample/rws.hpp"
 #include "resample/systematic.hpp"
 #include "resample/vose.hpp"
@@ -408,6 +411,125 @@ TEST(Degenerate, FewerDrawsThanWeights) {
   for (auto& u : uniforms) u = prng::uniform01<double>(rng);
   resample::rws_resample<double>(w, uniforms, out, cumsum);
   for (const auto i : out) EXPECT_LT(i, 64u);
+}
+
+// --- Collective-free kernels: Metropolis and rejection --------------------
+
+TEST(Metropolis, BoundedIndexCoversRangeWithoutOverflow) {
+  EXPECT_EQ(resample::bounded_index(0, 64), 0u);
+  EXPECT_EQ(resample::bounded_index(0xffffffffu, 64), 63u);
+  EXPECT_EQ(resample::bounded_index(0xffffffffu, 1), 0u);
+  // The fixed-point multiply maps equal slices of the 32-bit space to
+  // consecutive indices.
+  EXPECT_EQ(resample::bounded_index(1u << 31, 2), 1u);
+  EXPECT_EQ(resample::bounded_index((1u << 31) - 1, 2), 0u);
+}
+
+TEST(Metropolis, RecommendedStepsInvertTheContractionRate) {
+  // beta <= 1 (uniform weights) mixes in one step; higher skew or tighter
+  // epsilon need longer chains, monotonically.
+  EXPECT_EQ(resample::metropolis_recommended_steps(1.0, 0.05), 1u);
+  EXPECT_EQ(resample::metropolis_recommended_steps(0.5, 0.05), 1u);
+  const auto b2 = resample::metropolis_recommended_steps(2.0, 0.05);
+  const auto b8 = resample::metropolis_recommended_steps(8.0, 0.05);
+  const auto b8_tight = resample::metropolis_recommended_steps(8.0, 0.001);
+  EXPECT_LT(b2, b8);
+  EXPECT_LT(b8, b8_tight);
+  // B* satisfies (1 - 1/beta)^B <= eps < (1 - 1/beta)^(B-1).
+  EXPECT_LE(std::pow(1.0 - 1.0 / 8.0, static_cast<double>(b8)), 0.05);
+  EXPECT_GT(std::pow(1.0 - 1.0 / 8.0, static_cast<double>(b8 - 1)), 0.05);
+  // Degenerate epsilon inputs fall back to a single step, never throw.
+  EXPECT_EQ(resample::metropolis_recommended_steps(8.0, 0.0), 1u);
+  EXPECT_EQ(resample::metropolis_recommended_steps(8.0, 1.5), 1u);
+}
+
+TEST(Metropolis, DefaultStepsFloorAndGrowth) {
+  EXPECT_EQ(resample::metropolis_default_steps(16), 16u);
+  EXPECT_EQ(resample::metropolis_default_steps(256), 16u);
+  EXPECT_EQ(resample::metropolis_default_steps(1024), 20u);
+  EXPECT_EQ(resample::metropolis_default_steps(4096), 24u);
+}
+
+TEST(Metropolis, CountersMatchClosedFormAndIndicesInRange) {
+  const auto w = random_weights(64, 9);
+  std::vector<std::uint32_t> out(64);
+  prng::PhiloxStream rng(7, 0);
+  resample::MetropolisCounters mc;
+  resample::metropolis_resample<double>(w, 24, rng, out, &mc);
+  EXPECT_EQ(mc.steps, 64u * 24u);
+  EXPECT_EQ(mc.rng_draws, 2u * 64u * 24u);
+  for (const auto i : out) EXPECT_LT(i, 64u);
+}
+
+TEST(Metropolis, ZeroWeightStartCannotTrapTheChain) {
+  // Lane 1 starts on a zero-weight particle; the 0/0 guard must let the
+  // chain move off it, so index 1 never appears as an ancestor.
+  std::vector<double> w(16, 1.0);
+  w[1] = 0.0;
+  std::vector<std::uint32_t> out(16);
+  prng::PhiloxStream rng(8, 0);
+  resample::metropolis_resample<double>(w, 32, rng, out);
+  for (const auto i : out) EXPECT_NE(i, 1u);
+}
+
+TEST(Metropolis, SameSeedSameAncestors) {
+  const auto w = random_weights(64, 10);
+  std::vector<std::uint32_t> a(64), b(64);
+  prng::PhiloxStream r1(5, 3), r2(5, 3);
+  resample::metropolis_resample<double>(w, 16, r1, a);
+  resample::metropolis_resample<double>(w, 16, r2, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rejection, UniformWeightsAcceptEveryLaneFirstTrial) {
+  // With w_i == w_max every self-first trial passes: identity ancestry,
+  // exactly one trial and one draw per lane.
+  std::vector<double> w(32, 0.7);
+  std::vector<std::uint32_t> out(32);
+  prng::PhiloxStream rng(6, 0);
+  resample::RejectionCounters rc;
+  resample::rejection_resample<double>(w, 0.7, rng, out,
+                                       resample::kRejectionDefaultMaxTrials,
+                                       &rc);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(rc.trials, 32u);
+  EXPECT_EQ(rc.max_trials, 1u);
+  EXPECT_EQ(rc.rng_draws, 32u);
+}
+
+TEST(Rejection, TrialCapBoundsTheDeepestLane) {
+  // Near-degenerate weights drive the geometric trial count up; the cap
+  // must bound it and the kernel must still emit a valid index.
+  std::vector<double> w(64, 1e-9);
+  w[13] = 1.0;
+  std::vector<std::uint32_t> out(64);
+  prng::PhiloxStream rng(9, 1);
+  resample::RejectionCounters rc;
+  resample::rejection_resample<double>(w, 1.0, rng, out, 8, &rc);
+  EXPECT_LE(rc.max_trials, 8u);
+  EXPECT_GE(rc.max_trials, 1u);
+  for (const auto i : out) EXPECT_LT(i, 64u);
+}
+
+TEST(Rejection, SameSeedSameAncestors) {
+  const auto w = random_weights(64, 11);
+  const double w_max = *std::max_element(w.begin(), w.end());
+  std::vector<std::uint32_t> a(64), b(64);
+  prng::PhiloxStream r1(4, 2), r2(4, 2);
+  resample::rejection_resample<double>(w, w_max, r1, a);
+  resample::rejection_resample<double>(w, w_max, r2, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rejection, SingleSurvivorDominates) {
+  std::vector<double> w(8, 0.0);
+  w[6] = 1.0;
+  std::vector<std::uint32_t> out(8);
+  prng::PhiloxStream rng(3, 0);
+  resample::rejection_resample<double>(w, 1.0, rng, out);
+  for (const auto i : out) EXPECT_EQ(i, 6u);
 }
 
 }  // namespace

@@ -1,0 +1,198 @@
+// Randomized-corruption tests for the ESCP checkpoint decoder: seed-driven
+// byte flips, truncations, span scrambles, and checksum-re-signed header
+// field mutations over valid blobs. The contract under ANY input is "throw
+// CheckpointError or produce a self-consistent state" - never crash, never
+// read out of bounds (the sanitizer jobs run this suite under ASan+UBSan),
+// and never silently accept a blob that re-encodes differently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/distributed_pf.hpp"
+#include "models/robot_arm.hpp"
+#include "serve/checkpoint.hpp"
+#include "sim/ground_truth.hpp"
+
+namespace {
+
+using namespace esthera;
+
+using ArmModel = models::RobotArmModel<float>;
+using ArmFilter = core::DistributedParticleFilter<ArmModel>;
+
+/// A valid blob from a short filter run: the corpus every mutation starts
+/// from.
+std::vector<std::uint8_t> valid_blob() {
+  sim::RobotArmScenario scenario;
+  scenario.reset(5);
+  core::FilterConfig cfg;
+  cfg.particles_per_filter = 16;
+  cfg.num_filters = 4;
+  cfg.seed = 21;
+  cfg.workers = 1;
+  ArmFilter pf(scenario.make_model<float>(), cfg);
+  std::vector<float> z, u;
+  for (int k = 0; k < 4; ++k) {
+    const auto step = scenario.advance();
+    z.assign(step.z.begin(), step.z.end());
+    u.assign(step.u.begin(), step.u.end());
+    pf.step(z, u);
+  }
+  return serve::encode_checkpoint<float>(pf.export_state());
+}
+
+/// Same FNV-1a 64 the encoder uses, so field mutations can re-sign the
+/// blob and reach the structural validation behind the checksum gate.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void resign(std::vector<std::uint8_t>& blob) {
+  ASSERT_GE(blob.size(), 8u);
+  const std::uint64_t sum = fnv1a64(blob.data(), blob.size() - 8);
+  for (int b = 0; b < 8; ++b) {
+    blob[blob.size() - 8 + static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(sum >> (8 * b));
+  }
+}
+
+/// Decodes a mutated blob. Any CheckpointError is a pass; a successful
+/// decode must survive re-encode -> re-decode bit-identically (no silent
+/// divergence). Returns true when the blob was rejected.
+bool decode_must_reject_or_roundtrip(std::span<const std::uint8_t> blob) {
+  try {
+    const auto state = serve::decode_checkpoint<float>(blob);
+    const auto re = serve::encode_checkpoint<float>(state);
+    const auto again = serve::decode_checkpoint<float>(re);
+    EXPECT_EQ(serve::encode_checkpoint<float>(again), re)
+        << "accepted blob must be self-consistent";
+    return false;
+  } catch (const serve::CheckpointError&) {
+    return true;  // structured refusal: the expected outcome
+  }
+  // Any other exception type (or a crash) fails the test by escaping.
+}
+
+TEST(ServeCheckpointFuzz, SingleByteFlipsAreAlwaysRejected) {
+  const auto blob = valid_blob();
+  std::mt19937_64 gen(0xf00d);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto mutated = blob;
+    const std::size_t pos = gen() % mutated.size();
+    const auto mask = static_cast<std::uint8_t>(1u << (gen() % 8));
+    mutated[pos] ^= mask;
+    // The trailing checksum covers every byte, so any single flip - in the
+    // header, payload, or the checksum itself - must be caught.
+    EXPECT_TRUE(decode_must_reject_or_roundtrip(mutated))
+        << "flip at byte " << pos << " mask " << int(mask) << " accepted";
+  }
+}
+
+TEST(ServeCheckpointFuzz, RandomTruncationsNeverCrash) {
+  const auto blob = valid_blob();
+  std::mt19937_64 gen(0xbeef);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t keep = gen() % (blob.size() + 1);
+    const std::vector<std::uint8_t> cut(blob.begin(),
+                                        blob.begin() + static_cast<long>(keep));
+    if (keep == blob.size()) {
+      EXPECT_FALSE(decode_must_reject_or_roundtrip(cut));
+    } else {
+      EXPECT_TRUE(decode_must_reject_or_roundtrip(cut)) << "keep=" << keep;
+    }
+  }
+}
+
+TEST(ServeCheckpointFuzz, ScrambledSpansAreAlwaysRejected) {
+  const auto blob = valid_blob();
+  std::mt19937_64 gen(0xcafe);
+  for (int trial = 0; trial < 150; ++trial) {
+    auto mutated = blob;
+    const std::size_t start = gen() % mutated.size();
+    const std::size_t len =
+        std::min<std::size_t>(1 + gen() % 64, mutated.size() - start);
+    bool changed = false;
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto r = static_cast<std::uint8_t>(gen());
+      changed = changed || r != mutated[start + i];
+      mutated[start + i] = r;
+    }
+    if (!changed) continue;  // the scramble happened to be the identity
+    EXPECT_TRUE(decode_must_reject_or_roundtrip(mutated))
+        << "scramble [" << start << ", " << start + len << ") accepted";
+  }
+}
+
+TEST(ServeCheckpointFuzz, ResignedHeaderFieldMutationsRejectOrRoundTrip) {
+  // Overwrite one header field with a random value and re-sign the blob,
+  // so the mutation reaches the structural checks behind the checksum:
+  // extents that overrun the blob, zero dimensions, wrong scalar width,
+  // unknown generator, foreign version. Adversarial extents (huge u64s)
+  // must hit the overflow-checked size math, not a crash or a giant
+  // allocation-and-read.
+  const auto blob = valid_blob();
+  std::mt19937_64 gen(0xd00dull);
+  const std::size_t field_offsets[] = {4,  8,  12, 16, 24,
+                                       32, 40, 48, 56};  // all header ints
+  int accepted = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    auto mutated = blob;
+    const std::size_t off =
+        field_offsets[gen() % (sizeof(field_offsets) / sizeof(*field_offsets))];
+    const std::size_t width = off < 16 ? 4 : 8;
+    std::uint64_t value = gen();
+    switch (gen() % 4) {
+      case 0: value &= 0xff; break;              // small values
+      case 1: value = ~std::uint64_t{0}; break;  // extent overflow bait
+      case 2: value &= 0xffff; break;
+      default: break;                            // full-range garbage
+    }
+    for (std::size_t b = 0; b < width; ++b) {
+      mutated[off + b] = static_cast<std::uint8_t>(value >> (8 * b));
+    }
+    resign(mutated);
+    if (!decode_must_reject_or_roundtrip(mutated)) ++accepted;
+  }
+  // A mutation may legitimately be accepted (e.g. rewriting the step index
+  // or a field with its original value), but structural garbage dominates:
+  // most trials must be structured refusals.
+  EXPECT_LT(accepted, 400 / 2);
+}
+
+TEST(ServeCheckpointFuzz, TrailingGarbageIsRejectedEvenWhenResigned) {
+  const auto blob = valid_blob();
+  std::mt19937_64 gen(0xa11ce);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto mutated = blob;
+    const std::size_t extra = 1 + gen() % 32;
+    for (std::size_t i = 0; i < extra; ++i) {
+      mutated.push_back(static_cast<std::uint8_t>(gen()));
+    }
+    EXPECT_TRUE(decode_must_reject_or_roundtrip(mutated));
+    auto resigned = mutated;
+    resign(resigned);
+    // Even with a valid checksum over the padded blob the declared extents
+    // no longer reach the end: trailing garbage is a structural refusal.
+    EXPECT_TRUE(decode_must_reject_or_roundtrip(resigned));
+  }
+}
+
+TEST(ServeCheckpointFuzz, EmptyAndTinyBlobsAreRejected) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{63}}) {
+    const std::vector<std::uint8_t> tiny(n, 0x45);
+    EXPECT_TRUE(decode_must_reject_or_roundtrip(tiny)) << "size " << n;
+    EXPECT_THROW((void)serve::checkpoint_version(tiny), serve::CheckpointError);
+  }
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 #include "core/centralized_pf.hpp"
 #include "core/distributed_pf.hpp"
 #include "models/robot_arm.hpp"
+#include "resample/metropolis.hpp"
 #include "sim/ground_truth.hpp"
 #include "sortnet/bitonic.hpp"
 #include "sortnet/scan.hpp"
@@ -104,6 +105,79 @@ TEST(WorkCounters, DistributedCountsScaleWithSteps) {
   for (std::size_t i = 0; i < four.size(); ++i) {
     EXPECT_EQ(eight[i], 2 * four[i]) << kWorkCounters[i];
   }
+}
+
+/// Same harness for the collective-free resamplers: returns the inline
+/// kernel tallies alongside rng_draws and lockstep_phases.
+std::vector<std::uint64_t> run_distributed_collective_free(
+    core::ResampleAlgorithm alg, std::size_t workers, int steps,
+    std::size_t metropolis_steps = 0) {
+  core::FilterConfig cfg = base_config(workers);
+  cfg.resample = alg;
+  cfg.metropolis_steps = metropolis_steps;
+  telemetry::Telemetry tel;
+  cfg.telemetry = &tel;
+  sim::RobotArmScenario scenario;
+  scenario.reset(2);
+  core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+      scenario.make_model<float>(), cfg);
+  std::vector<float> z, u;
+  for (int k = 0; k < steps; ++k) {
+    const auto step = scenario.advance();
+    z.assign(step.z.begin(), step.z.end());
+    u.assign(step.u.begin(), step.u.end());
+    pf.step(z, u);
+  }
+  return {tel.registry.counter("work.metropolis_steps").value(),
+          tel.registry.counter("work.rejection_trials").value(),
+          tel.registry.counter("work.rng_draws").value(),
+          tel.registry.counter("work.lockstep_phases").value()};
+}
+
+TEST(WorkCounters, MetropolisStepsMatchClosedForm) {
+  // Every step resamples every group under the default policy, so the
+  // chain-step tally is exactly steps * N * m * B.
+  const int steps = 8;
+  const std::size_t B = 12;
+  const auto counts = run_distributed_collective_free(
+      core::ResampleAlgorithm::kMetropolis, 2, steps, B);
+  const std::uint64_t expected = 8ull * 16ull * 32ull * B;
+  EXPECT_EQ(counts[0], expected) << "work.metropolis_steps";
+  EXPECT_EQ(counts[1], 0u) << "work.rejection_trials";
+  // Each chain step consumes one index draw and one accept coin.
+  EXPECT_GE(counts[2], 2 * expected) << "work.rng_draws";
+}
+
+TEST(WorkCounters, MetropolisAutoChainLengthUsesDefaultSteps) {
+  const auto counts = run_distributed_collective_free(
+      core::ResampleAlgorithm::kMetropolis, 2, 4, /*metropolis_steps=*/0);
+  const std::uint64_t B = resample::metropolis_default_steps(32);
+  EXPECT_EQ(counts[0], 4ull * 16ull * 32ull * B);
+}
+
+TEST(WorkCounters, CollectiveFreeCountsIndependentOfWorkerCount) {
+  for (const auto alg : {core::ResampleAlgorithm::kMetropolis,
+                         core::ResampleAlgorithm::kRejection}) {
+    const auto one = run_distributed_collective_free(alg, 1, 8);
+    const auto two = run_distributed_collective_free(alg, 2, 8);
+    const auto eight = run_distributed_collective_free(alg, 8, 8);
+    ASSERT_EQ(one.size(), two.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      EXPECT_EQ(one[i], two[i]) << "alg " << core::to_string(alg) << " idx " << i;
+      EXPECT_EQ(one[i], eight[i]) << "alg " << core::to_string(alg) << " idx " << i;
+    }
+  }
+}
+
+TEST(WorkCounters, RejectionTrialsAreDeterministicAndCoverEveryLane) {
+  const auto a = run_distributed_collective_free(
+      core::ResampleAlgorithm::kRejection, 2, 8);
+  const auto b = run_distributed_collective_free(
+      core::ResampleAlgorithm::kRejection, 2, 8);
+  EXPECT_EQ(a[1], b[1]) << "work.rejection_trials";
+  // At least one trial per lane per resampled step.
+  EXPECT_GE(a[1], 8ull * 16ull * 32ull);
+  EXPECT_EQ(a[0], 0u) << "work.metropolis_steps";
 }
 
 std::vector<std::uint64_t> run_centralized(std::size_t n, int steps,
