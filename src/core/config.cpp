@@ -81,7 +81,8 @@ std::string FilterConfig::summary() const {
       os << "auto";
     }
   }
-  os << " estimator=" << to_string(estimator) << " seed=" << seed;
+  os << " estimator=" << to_string(estimator) << " seed=" << seed
+     << " backend=" << device::to_string(device::resolve_backend(backend));
   if (check_invariants) os << " checked";
   return os.str();
 }

@@ -33,6 +33,7 @@
 #include "core/filter_state.hpp"
 #include "core/particle_store.hpp"
 #include "core/stage_timers.hpp"
+#include "device/backend.hpp"
 #include "device/device.hpp"
 #include "device/invariants.hpp"
 #include "estimation/diagnostics.hpp"
@@ -131,7 +132,7 @@ class DistributedParticleFilter {
 
   /// Re-draws the initial particle population from the model's prior.
   void initialize() {
-    stream_.fill(dev_->pool(), rand_);
+    stream_.fill(dev_->pool(), rand_, backend_);
     const std::size_t ind = model_.init_noise_dim();
     dev_->launch(n_filters_, [&](std::size_t g) {
       const auto normals = rand_.group_normals(g);
@@ -265,6 +266,7 @@ class DistributedParticleFilter {
         aux_(n_total_, dim_),
         sort_keys_(n_total_),
         sort_idx_(n_total_),
+        loglik_(n_total_),
         weights_(n_total_),
         cumsum_(n_total_),
         alias_prob_(n_total_),
@@ -275,7 +277,9 @@ class DistributedParticleFilter {
         local_best_lw_(n_filters_),
         group_wsum_(n_filters_),
         group_wstate_(n_filters_ * dim_),
-        estimate_(dim_, T(0)) {
+        estimate_(dim_, T(0)),
+        backend_(device::resolve_backend(cfg_.backend)),
+        ops_(&device::lane_ops<T>(backend_)) {
     cfg_.validate();
     // Normals per group: enough for one transition (or initial) draw per
     // particle, plus one jitter vector per particle when roughening is on.
@@ -393,7 +397,7 @@ class DistributedParticleFilter {
       // launch(); give it its own kernel span.
       telemetry::ScopedSpan span(tel_ ? &tel_->trace : nullptr, "prng", 0,
                                  n_filters_, step_);
-      stream_.fill(dev_->pool(), rand_);
+      stream_.fill(dev_->pool(), rand_, backend_);
     }
     if (cnt_barriers_) cnt_barriers_->add(1);  // the fill is a launch, too
     if (cnt_rng_) {
@@ -410,13 +414,18 @@ class DistributedParticleFilter {
     const std::size_t nd = model_.noise_dim();
     launch("sampling+weighting", [&](std::size_t g) {
       const auto normals = rand_.group_normals(g);
+      const std::size_t base = g * m_;
+      auto ll = std::span<T>(loglik_).subspan(base, m_);
       for (std::size_t p = 0; p < m_; ++p) {
-        const std::size_t i = g * m_ + p;
+        const std::size_t i = base + p;
         model_.sample_transition(cur_.state(i), aux_.state(i), u,
                                  normals.subspan(p * nd, nd), step_);
-        aux_.log_weights()[i] =
-            cur_.log_weights()[i] + model_.log_likelihood(aux_.state(i), z);
+        ll[p] = model_.log_likelihood(aux_.state(i), z);
       }
+      // The weighting update w' = w * p(z|x) is a lock-step phase over the
+      // group's lanes; the backend batches it.
+      ops_->weigh(std::span<const T>(cur_.log_weights(base, m_)), ll,
+                  aux_.log_weights(base, m_));
     });
     cur_.swap(aux_);
     if (checker_) {
@@ -441,8 +450,7 @@ class DistributedParticleFilter {
       }
       // Descending: the best particle lands at local index 0.
       sortnet::NetCounters nc;
-      sortnet::bitonic_sort_by_key<T, std::uint32_t>(keys, idx, std::greater<T>(),
-                                                     cnt_cmpex_ ? &nc : nullptr);
+      ops_->sort_pairs_desc(keys, idx, cnt_cmpex_ ? &nc : nullptr);
       if (cnt_cmpex_) {
         cnt_cmpex_->add(nc.compare_exchanges);
         cnt_lockstep_->add(nc.lockstep_phases);
@@ -704,7 +712,8 @@ class DistributedParticleFilter {
       sortnet::NetCounters* ncp = cnt_scan_ ? &nc : nullptr;
       switch (cfg_.resample) {
         case ResampleAlgorithm::kRws:
-          resample::rws_resample<T>(w, uniforms.first(m_), out, cumsum, ncp);
+          resample::rws_resample<T>(w, uniforms.first(m_), out, cumsum, ncp,
+                                    ops_->exclusive_scan);
           break;
         case ResampleAlgorithm::kVose: {
           auto prob = std::span<T>(alias_prob_).subspan(base, m_);
@@ -717,11 +726,11 @@ class DistributedParticleFilter {
         }
         case ResampleAlgorithm::kSystematic:
           resample::systematic_resample<T>(w, static_cast<T>(uniforms[0]), out,
-                                           cumsum, ncp);
+                                           cumsum, ncp, ops_->exclusive_scan);
           break;
         case ResampleAlgorithm::kStratified:
           resample::stratified_resample<T>(w, uniforms.first(m_), out, cumsum,
-                                           ncp);
+                                           ncp, ops_->exclusive_scan);
           break;
         case ResampleAlgorithm::kMetropolis: {
           prng::PhiloxStream chain(chain_seed_, chain_stream(g));
@@ -933,6 +942,7 @@ class DistributedParticleFilter {
   ParticleStore<T> aux_;
   std::vector<T> sort_keys_;
   std::vector<std::uint32_t> sort_idx_;
+  std::vector<T> loglik_;  // per-particle log-likelihood scratch (weighting)
   std::vector<T> weights_;
   std::vector<T> cumsum_;
   std::vector<T> alias_prob_;
@@ -950,6 +960,8 @@ class DistributedParticleFilter {
   std::vector<std::uint32_t> pool_top_;
   std::vector<std::uint32_t> pool_order_;
   std::vector<T> estimate_;
+  device::Backend backend_;            // resolved (never kAuto)
+  const device::LaneOps<T>* ops_;      // lane-batched phase kernels
   std::unique_ptr<debug::InvariantChecker> checker_;
   std::unique_ptr<debug::CheckedDevice> checked_dev_;
   T estimate_lw_ = T(0);

@@ -1,0 +1,53 @@
+#include "device/backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace esthera::device {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kAuto: return "auto";
+    case Backend::kScalar: return "scalar";
+    case Backend::kSimd: return "simd";
+  }
+  return "?";
+}
+
+Backend parse_backend(const std::string& name) {
+  if (name == "auto") return Backend::kAuto;
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "simd") return Backend::kSimd;
+  throw std::invalid_argument("unknown device backend: " + name);
+}
+
+namespace {
+std::atomic<Backend> g_backend_override{Backend::kAuto};  // kAuto = none
+}  // namespace
+
+void set_default_backend(Backend b) {
+  g_backend_override.store(b, std::memory_order_relaxed);
+}
+
+Backend default_backend() {
+  if (const Backend forced = g_backend_override.load(std::memory_order_relaxed);
+      forced != Backend::kAuto) {
+    return forced;
+  }
+  if (const char* env = std::getenv("ESTHERA_BACKEND")) {
+    // Accept only the exact concrete names; garbage ("", "SIMD", "simd ",
+    // "avx2") and "auto" fall back to the scalar reference instead of
+    // guessing - same hardened-parse policy as ESTHERA_WORKERS.
+    if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+    if (std::strcmp(env, "simd") == 0) return Backend::kSimd;
+  }
+  return Backend::kScalar;
+}
+
+Backend resolve_backend(Backend b) {
+  return b == Backend::kAuto ? default_backend() : b;
+}
+
+}  // namespace esthera::device

@@ -59,11 +59,18 @@ void run_simt_group(std::size_t lanes, Kernel&& kernel) {
       try {
         kernel(ctx);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // A throwing lane cannot keep participating in barriers; real
-        // kernels do not throw. Tests only use non-throwing kernels, so
-        // this path is a debugging aid, not a recovery mechanism.
+        {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // A throwing lane cannot keep participating in barriers, so drop
+        // out of the group: arrive_and_drop() satisfies the current phase
+        // and shrinks the expected count for every subsequent one, letting
+        // surviving lanes run to completion instead of blocking forever on
+        // a barrier the dead lane will never reach. The first exception
+        // then propagates after join(). Real kernels do not throw; this is
+        // a debugging aid, not a recovery mechanism.
+        bar.arrive_and_drop();
       }
     });
   }

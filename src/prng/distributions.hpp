@@ -3,9 +3,11 @@
 // (MTGP + Box-Muller, Sec. VI-A).
 #pragma once
 
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <span>
 #include <utility>
 
 namespace esthera::prng {
@@ -50,6 +52,61 @@ inline std::pair<T, T> box_muller(T u1, T u2) {
   return {r * std::cos(theta), r * std::sin(theta)};
 }
 
+/// Batched Box-Muller over `draws`, a staged run of U(0,1) variates in
+/// generator draw order. Pair p consumes draws[2p] and draws[2p+1] and
+/// produces out[2p], out[2p+1] (an odd-sized `out` still consumes a full
+/// pair and discards z1, matching the sized PRNG-kernel budget).
+///
+/// Draw-pairing contract: the historical fill evaluated
+/// `box_muller(uniform01(gen), uniform01(gen))`, whose argument order is
+/// unspecified; GCC evaluates right-to-left, so the *first* draw of each
+/// pair became the angle input u2 and the *second* the radius input u1.
+/// This helper pins that pairing explicitly - box_muller(draws[2p+1],
+/// draws[2p]) - so staged fills reproduce the seed sequences bit-for-bit
+/// on any compiler.
+template <typename T>
+inline void box_muller_fill(std::span<const T> draws, std::span<T> out) {
+  const std::size_t pairs = (out.size() + 1) / 2;
+  assert(draws.size() >= 2 * pairs);
+  for (std::size_t p = 0; p + 1 < pairs; ++p) {
+    const auto [z0, z1] = box_muller(draws[2 * p + 1], draws[2 * p]);
+    out[2 * p] = z0;
+    out[2 * p + 1] = z1;
+  }
+  if (pairs > 0) {
+    const std::size_t p = pairs - 1;
+    const auto [z0, z1] = box_muller(draws[2 * p + 1], draws[2 * p]);
+    out[2 * p] = z0;
+    if (2 * p + 1 < out.size()) out[2 * p + 1] = z1;
+  }
+}
+
+/// Lane-batched variant of box_muller_fill: identical draw pairing over a
+/// pre-staged contiguous draw array, evaluated pair-at-a-time with no
+/// interleaved generator stepping. The transform calls the same scalar
+/// libm routines (no fast-math relaxation, no vector-math substitution),
+/// so outputs stay bit-identical to the scalar fill; a `#pragma omp simd`
+/// here measures *slower* because the transcendental calls serialize the
+/// lanes anyway, so the batching win is the staging itself (generator
+/// stepping decoupled from the transform's load/store stream).
+template <typename T>
+inline void box_muller_fill_simd(std::span<const T> draws, std::span<T> out) {
+  const std::size_t pairs = out.size() / 2;
+  assert(draws.size() >= 2 * ((out.size() + 1) / 2));
+  const T* const d = draws.data();
+  T* const o = out.data();
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto [z0, z1] = box_muller(d[2 * p + 1], d[2 * p]);
+    o[2 * p] = z0;
+    o[2 * p + 1] = z1;
+  }
+  if (out.size() % 2 == 1) {
+    const auto [z0, z1] = box_muller(d[out.size()], d[out.size() - 1]);
+    o[out.size() - 1] = z0;
+    (void)z1;
+  }
+}
+
 /// Stateful N(0,1) source over any 32-bit generator; caches the second
 /// Box-Muller output so no variate is wasted.
 template <typename T, typename Gen>
@@ -62,7 +119,13 @@ class NormalSource {
       has_spare_ = false;
       return spare_;
     }
-    const auto [z0, z1] = box_muller(uniform01<T>(gen_), uniform01<T>(gen_));
+    // Draw order pinned to box_muller_fill's contract: the first draw is
+    // the angle input u2, the second the radius input u1 (historically
+    // GCC's right-to-left argument evaluation; now explicit so the seed
+    // sequences are compiler-independent).
+    const T u2 = uniform01<T>(gen_);
+    const T u1 = uniform01<T>(gen_);
+    const auto [z0, z1] = box_muller(u1, u2);
     spare_ = z1;
     has_spare_ = true;
     return z0;

@@ -36,8 +36,19 @@ struct MetropolisCounters {
 };
 
 /// Maps one 32-bit draw to an index in [0, n) by fixed-point multiply
-/// (Lemire): unbiased enough for resampling and branch-free, unlike modulo.
+/// (Lemire): branch-free, unlike modulo. For non-power-of-two n the map is
+/// slightly biased (indices covered by ceil(2^32 / n) draws vs floor; the
+/// relative skew is < n / 2^32, negligible for resampling widths); Lemire's
+/// rejection step would remove it at the cost of a loop.
+///
+/// Requires n <= 2^32: the product (bits * n) >> 32 only stays in uint32
+/// range under that bound - a larger n would silently truncate to an
+/// arbitrary in-range-looking index. Callers size n by the sub-filter /
+/// particle count, far below the bound; the assert keeps the contract
+/// honest at the boundary.
 inline std::uint32_t bounded_index(std::uint32_t bits, std::size_t n) {
+  assert(n <= (std::uint64_t{1} << 32) &&
+         "bounded_index requires n <= 2^32 (draw has 32 bits)");
   return static_cast<std::uint32_t>(
       (static_cast<std::uint64_t>(bits) * static_cast<std::uint64_t>(n)) >> 32);
 }
@@ -78,7 +89,12 @@ void metropolis_resample(std::span<const T> weights, std::size_t chain_steps,
                          MetropolisCounters* mc = nullptr) {
   const std::size_t n = weights.size();
   assert(n > 0 && chain_steps > 0);
-  assert(out.size() <= n || n > 0);
+  // Every chain position is a uint32 index into `weights`, including the
+  // wrapped start i % n of the surplus lanes when out.size() > n (more
+  // draws than particles, e.g. upsampling a group). bounded_index carries
+  // the same bound for the proposal draws.
+  assert(n <= (std::uint64_t{1} << 32) &&
+         "metropolis_resample indexes weights with 32-bit chain positions");
   for (std::size_t i = 0; i < out.size(); ++i) {
     std::uint32_t k = static_cast<std::uint32_t>(i < n ? i : i % n);
     for (std::size_t b = 0; b < chain_steps; ++b) {

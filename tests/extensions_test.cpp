@@ -9,6 +9,7 @@
 #include <numbers>
 #include <numeric>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 #include "core/adaptive_pf.hpp"
@@ -56,6 +57,28 @@ TEST(Simt, BarrierSynchronizesPhases) {
     if (sum != (kLanes * (kLanes + 1)) / 2) ok = false;
   });
   EXPECT_TRUE(ok.load());
+}
+
+TEST(Simt, ThrowingLaneDoesNotDeadlock) {
+  // Regression: a lane that throws between barriers used to leave the
+  // group blocked forever on the next arrive_and_wait (the dead lane never
+  // arrived). The catch path must arrive_and_drop() so surviving lanes run
+  // to completion and the first exception propagates.
+  constexpr std::size_t kLanes = 8;
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      device::run_simt_group(kLanes,
+                             [&](device::LaneContext& ctx) {
+                               ctx.barrier();
+                               if (ctx.lane_id() == 0) {
+                                 throw std::runtime_error("lane 0 died");
+                               }
+                               ctx.barrier();  // survivors keep phasing
+                               ctx.barrier();
+                               completed.fetch_add(1);
+                             }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), static_cast<int>(kLanes) - 1);
 }
 
 /// Bitonic sort written as a true SIMT kernel: one lane per element, one

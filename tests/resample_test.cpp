@@ -423,6 +423,11 @@ TEST(Metropolis, BoundedIndexCoversRangeWithoutOverflow) {
   // consecutive indices.
   EXPECT_EQ(resample::bounded_index(1u << 31, 2), 1u);
   EXPECT_EQ(resample::bounded_index((1u << 31) - 1, 2), 0u);
+  // At the documented bound n == 2^32 the map is the identity; anything
+  // larger would silently truncate (asserted against in checked builds).
+  EXPECT_EQ(resample::bounded_index(0xffffffffu, std::size_t{1} << 32),
+            0xffffffffu);
+  EXPECT_EQ(resample::bounded_index(12345u, std::size_t{1} << 32), 12345u);
 }
 
 TEST(Metropolis, RecommendedStepsInvertTheContractionRate) {
@@ -479,6 +484,28 @@ TEST(Metropolis, SameSeedSameAncestors) {
   resample::metropolis_resample<double>(w, 16, r1, a);
   resample::metropolis_resample<double>(w, 16, r2, b);
   EXPECT_EQ(a, b);
+}
+
+TEST(Metropolis, MoreDrawsThanWeightsWrapStartIndices) {
+  // Regression for the surplus-lane path (out.size() > n): each extra
+  // lane's chain starts at the wrapped index i % n. The old precondition
+  // assert here was a tautology (`out.size() <= n || n > 0`), so nothing
+  // exercised this path. A stub RNG that always proposes index 0 with a
+  // mid-range acceptance coin pins every chain to its start - w[0] is
+  // negligible, so every proposal onto it is rejected - making the wrapped
+  // starts directly observable: out[i] == i % n.
+  struct StubRng {
+    std::uint32_t calls = 0;
+    std::uint32_t operator()() { return (calls++ % 2 == 0) ? 0u : 0x80000000u; }
+  };
+  std::vector<double> w(4, 1.0);
+  w[0] = 1e-9;  // proposals (always index 0) get rejected from lanes 1..3
+  std::vector<std::uint32_t> out(16);
+  StubRng rng;
+  resample::metropolis_resample<double>(std::span<const double>(w), 1, rng, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<std::uint32_t>(i % 4)) << "lane " << i;
+  }
 }
 
 TEST(Rejection, UniformWeightsAcceptEveryLaneFirstTrial) {
