@@ -305,6 +305,14 @@ class Report {
   /// when an output file could not be opened.
   [[nodiscard]] int write() const {
     int status = 0;
+    if (telemetry_) {
+      // Introspection gauges in every snapshot (gauges are notes-only in
+      // bench_compare, so these never gate and never churn baselines).
+      telemetry_->registry.gauge("trace.spans")
+          .set(static_cast<double>(telemetry_->trace.span_count()));
+      telemetry_->registry.gauge("trace.dropped_spans")
+          .set(static_cast<double>(telemetry_->trace.dropped_spans()));
+    }
     if (!json_path_.empty() && !write_json_file()) status = 1;
     if (!trace_path_.empty()) {
       std::ofstream os(trace_path_);

@@ -7,16 +7,25 @@
 // (serve.request.latency), the batch-size histogram, and the
 // serve.rejected.* counters via the standard telemetry snapshot.
 //
-//   --sessions S   concurrent tracking sessions (default 8, --full 32)
-//   --requests K   observe() requests per session (default 100, --full 500)
-//   --rate R       total arrival rate in requests/second across sessions;
-//                  0 (default) = unthrottled, every request arrives at t=0,
-//                  deliberately saturating admission control
-//   --max-batch B  scheduler batch capacity (default 16)
-//   --max-queue Q  global admission bound (default 256)
+// With --trace the workload runs twice: once untraced (scratch telemetry,
+// trace_requests off) and once traced, and the report carries both p50s
+// plus their ratio -- the measured cost of request tracing itself.
+//
+//   --sessions S     concurrent tracking sessions (default 8, --full 32)
+//   --requests K     observe() requests per session (default 100, --full 500)
+//   --rate R         total arrival rate in requests/second across sessions;
+//                    0 (default) = unthrottled, every request arrives at t=0,
+//                    deliberately saturating admission control
+//   --max-batch B    scheduler batch capacity (default 16)
+//   --max-queue Q    global admission bound (default 256)
+//   --flight-dump P  dump the manager's flight-recorder ring to P as
+//                    esthera.flight/1 JSONL after the run
+//   --statusz P      dump one esthera.statusz/1 document to P after the run
 #include <chrono>
 #include <cstddef>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,46 +36,40 @@ namespace {
 
 using namespace esthera;
 using Clock = std::chrono::steady_clock;
+using Manager = serve::SessionManager<models::RobotArmModel<float>>;
 
 struct SessionTraffic {
   std::vector<std::vector<float>> z;
   std::vector<std::vector<float>> u;
 };
 
-}  // namespace
+struct WorkloadResult {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+  double wall = 0.0;
+  double latency_p50 = 0.0;
+};
 
-int main(int argc, char** argv) {
-  const auto cli = bench_util::Cli::parse_or_exit(
-      argc, argv,
-      bench::standard_flags(
-          {"--sessions", "--requests", "--rate", "--max-batch", "--max-queue"}));
-  bench::Report report(
-      cli, "Serving throughput",
-      "Open-loop multi-tenant serving: independent tracking sessions behind "
-      "one SessionManager; latency quantiles and admission rejects in the "
-      "telemetry snapshot.");
-  report.print_header();
+// One full open-loop run against a fresh manager. Traffic is regenerated
+// from the same scenario seeds each call, so the traced and untraced runs
+// see identical request streams.
+WorkloadResult run_workload(std::size_t sessions, std::size_t requests,
+                            double rate, serve::ServeConfig scfg,
+                            telemetry::Telemetry* tel,
+                            const std::string& flight_dump_path = "",
+                            const std::string& statusz_path = "") {
+  scfg.telemetry = tel;
+  Manager mgr(scfg);
 
-  const std::size_t sessions = cli.get_size("--sessions", cli.full_scale() ? 32 : 8);
-  const std::size_t requests = cli.get_size("--requests", cli.full_scale() ? 500 : 100);
-  const double rate = cli.get_double("--rate", 0.0);
-
-  serve::ServeConfig scfg;
-  scfg.max_batch = cli.get_size("--max-batch", 16);
-  scfg.max_queue = cli.get_size("--max-queue", 256);
-  scfg.max_pending_per_session = 8;
-  scfg.telemetry = report.telemetry();
-  serve::SessionManager<models::RobotArmModel<float>> mgr(scfg);
-
-  // Stage histograms are single-writer, so sessions share the report's
+  // Stage histograms are single-writer, so sessions share the run's
   // telemetry only when batches execute on a single worker.
-  telemetry::Telemetry* session_tel =
-      mgr.worker_count() == 1 ? report.telemetry() : nullptr;
+  telemetry::Telemetry* session_tel = mgr.worker_count() == 1 ? tel : nullptr;
 
   // Pre-generate each session's observation stream so the measured loop is
   // submit + schedule + step, nothing else.
   std::vector<SessionTraffic> traffic(sessions);
-  std::vector<serve::SessionManager<models::RobotArmModel<float>>::SessionId> ids;
+  std::vector<Manager::SessionId> ids;
   for (std::size_t s = 0; s < sessions; ++s) {
     sim::RobotArmScenario scenario;
     scenario.reset(1000 + s);
@@ -75,11 +78,14 @@ int main(int argc, char** argv) {
     fcfg.num_filters = 8;
     fcfg.seed = 100 + s;
     fcfg.telemetry = session_tel;
-    const auto opened = mgr.open_session(scenario.make_model<float>(), fcfg);
+    // Tenant tag: spread sessions over three synthetic owners so traces,
+    // flight events, and statusz show per-tenant attribution.
+    const auto opened =
+        mgr.open_session(scenario.make_model<float>(), fcfg, 1 + s % 3);
     if (!opened.ok()) {
       std::cerr << "error: open_session: " << serve::to_string(opened.admission)
                 << '\n';
-      return 1;
+      std::exit(1);
     }
     ids.push_back(opened.id);
     traffic[s].z.reserve(requests);
@@ -96,9 +102,7 @@ int main(int argc, char** argv) {
   // unthrottled). The deadline is the arrival time, so EDF serves the
   // oldest traffic first.
   const std::size_t total = sessions * requests;
-  std::uint64_t accepted = 0;
-  std::uint64_t rejected = 0;
-  std::uint64_t batches = 0;
+  WorkloadResult result;
   std::size_t next = 0;
   const auto t0 = Clock::now();
   while (next < total || mgr.queue_depth() > 0) {
@@ -109,36 +113,111 @@ int main(int argc, char** argv) {
       const std::size_t s = next % sessions;
       const std::size_t k = next / sessions;
       const auto verdict = mgr.submit(ids[s], traffic[s].z[k], traffic[s].u[k], at);
-      verdict.ok() ? ++accepted : ++rejected;
+      verdict.ok() ? ++result.accepted : ++result.rejected;
       ++next;
     }
     const auto stats = mgr.run_batch();
     if (stats.dispatched > 0) {
-      ++batches;
+      ++result.batches;
     } else if (next < total) {
       // Ahead of the arrival schedule: yield until the next request is due.
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
-  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.wall = std::chrono::duration<double>(Clock::now() - t0).count();
   mgr.drain();
 
-  const double throughput = wall > 0.0 ? static_cast<double>(accepted) / wall : 0.0;
+  if (tel != nullptr) {
+    result.latency_p50 = tel->registry.histogram("serve.request.latency").p50();
+  }
+  if (!flight_dump_path.empty()) {
+    std::ofstream os(flight_dump_path);
+    if (os) {
+      mgr.dump_flight(os);
+      std::cout << "flight: " << flight_dump_path << '\n';
+    } else {
+      std::cerr << "error: cannot write flight dump to " << flight_dump_path
+                << '\n';
+      std::exit(1);
+    }
+  }
+  if (!statusz_path.empty()) {
+    std::ofstream os(statusz_path);
+    if (os) {
+      mgr.write_statusz(os);
+      std::cout << "statusz: " << statusz_path << '\n';
+    } else {
+      std::cerr << "error: cannot write statusz to " << statusz_path << '\n';
+      std::exit(1);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = bench_util::Cli::parse_or_exit(
+      argc, argv,
+      bench::standard_flags({"--sessions", "--requests", "--rate",
+                             "--max-batch", "--max-queue", "--flight-dump",
+                             "--statusz"}));
+  bench::Report report(
+      cli, "Serving throughput",
+      "Open-loop multi-tenant serving: independent tracking sessions behind "
+      "one SessionManager; latency quantiles and admission rejects in the "
+      "telemetry snapshot.");
+  report.print_header();
+
+  const std::size_t sessions = cli.get_size("--sessions", cli.full_scale() ? 32 : 8);
+  const std::size_t requests = cli.get_size("--requests", cli.full_scale() ? 500 : 100);
+  const double rate = cli.get_double("--rate", 0.0);
+
+  serve::ServeConfig scfg;
+  scfg.max_batch = cli.get_size("--max-batch", 16);
+  scfg.max_queue = cli.get_size("--max-queue", 256);
+  scfg.max_pending_per_session = 8;
+
+  // Tracing-overhead reference: when a trace export was requested, first
+  // run the identical workload untraced against scratch telemetry. Same
+  // traffic, same admission bounds; only request tracing differs.
+  double p50_untraced = 0.0;
+  if (cli.has("--trace")) {
+    telemetry::Telemetry scratch;
+    serve::ServeConfig untraced = scfg;
+    untraced.trace_requests = false;
+    p50_untraced =
+        run_workload(sessions, requests, rate, untraced, &scratch).latency_p50;
+  }
+
+  const WorkloadResult r =
+      run_workload(sessions, requests, rate, scfg, report.telemetry(),
+                   cli.get("--flight-dump", ""), cli.get("--statusz", ""));
+
+  const std::size_t total = sessions * requests;
+  const double throughput =
+      r.wall > 0.0 ? static_cast<double>(r.accepted) / r.wall : 0.0;
   report.add_value("sessions", static_cast<double>(sessions));
   report.add_value("requests_total", static_cast<double>(total));
-  report.add_value("requests_accepted", static_cast<double>(accepted));
-  report.add_value("requests_rejected", static_cast<double>(rejected));
-  report.add_value("batches", static_cast<double>(batches));
-  report.add_value("wall_seconds", wall);
+  report.add_value("requests_accepted", static_cast<double>(r.accepted));
+  report.add_value("requests_rejected", static_cast<double>(r.rejected));
+  report.add_value("batches", static_cast<double>(r.batches));
+  report.add_value("wall_seconds", r.wall);
   report.add_value("throughput_hz", throughput);
+  if (cli.has("--trace")) {
+    report.add_value("latency_p50_untraced", p50_untraced);
+    report.add_value("latency_p50_traced", r.latency_p50);
+    report.add_value("trace_overhead_p50_ratio",
+                     p50_untraced > 0.0 ? r.latency_p50 / p50_untraced : 0.0);
+  }
 
   bench_util::Table table({"quantity", "value"});
   table.add_row({"sessions", bench_util::Table::num(sessions)});
   table.add_row(
-      {"requests accepted", bench_util::Table::num(static_cast<std::size_t>(accepted))});
+      {"requests accepted", bench_util::Table::num(static_cast<std::size_t>(r.accepted))});
   table.add_row(
-      {"requests rejected", bench_util::Table::num(static_cast<std::size_t>(rejected))});
-  table.add_row({"batches", bench_util::Table::num(static_cast<std::size_t>(batches))});
+      {"requests rejected", bench_util::Table::num(static_cast<std::size_t>(r.rejected))});
+  table.add_row({"batches", bench_util::Table::num(static_cast<std::size_t>(r.batches))});
   table.add_row({"throughput (req/s)", bench_util::Table::num(throughput, 1)});
   table.print(std::cout);
   report.add_table("serve", table);

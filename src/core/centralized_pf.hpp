@@ -148,12 +148,20 @@ class CentralizedParticleFilter {
   }
 
   /// One filtering round: sample / weigh / estimate / (conditionally)
-  /// resample, consuming measurement `z` under control `u`.
-  void step(std::span<const T> z, std::span<const T> u = {}) {
+  /// resample, consuming measurement `z` under control `u`. `ctx`, when
+  /// given, is the parent TraceContext the round span joins (purely
+  /// passive; estimates are bit-identical with and without it).
+  void step(std::span<const T> z, std::span<const T> u = {},
+            const telemetry::TraceContext* ctx = nullptr) {
     telemetry::TraceRecorder* trace = tel_ ? &tel_->trace : nullptr;
-    telemetry::ScopedSpan round(trace, "step", 0, 1, step_);
+    telemetry::ScopedSpan round(trace, "step", 0, 1, step_,
+                                ctx != nullptr ? ctx->track : 0, ctx);
+    const telemetry::TraceContext& round_ctx = round.child_context();
+    const telemetry::TraceContext* stage_ctx = round_ctx ? &round_ctx : nullptr;
+    const std::uint32_t stage_track = round_ctx ? round_ctx.track : 0;
     {
-      telemetry::ScopedSpan span(trace, "sampling+weighting", 0, 1, step_);
+      telemetry::ScopedSpan span(trace, "sampling+weighting", 0, 1, step_,
+                                 stage_track, stage_ctx);
       auto timer = stage_timer(Stage::kSampling);
       if (opts_.move_steps > 0) {
         // Keep x_{k-1}: the move step proposes fresh transitions from the
@@ -190,13 +198,15 @@ class CentralizedParticleFilter {
       }
     }
     {
-      telemetry::ScopedSpan span(trace, "global estimate", 0, 1, step_);
+      telemetry::ScopedSpan span(trace, "global estimate", 0, 1, step_,
+                                 stage_track, stage_ctx);
       auto timer = stage_timer(Stage::kGlobalEstimate);
       update_estimate();
     }
     bool resampled = false;
     {
-      telemetry::ScopedSpan span(trace, "resampling", 0, 1, step_);
+      telemetry::ScopedSpan span(trace, "resampling", 0, 1, step_,
+                                 stage_track, stage_ctx);
       auto timer = stage_timer(Stage::kResampling);
       resampled = maybe_resample();
       if (resampled && opts_.move_steps > 0) {

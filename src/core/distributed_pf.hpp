@@ -231,17 +231,27 @@ class DistributedParticleFilter {
   }
 
   /// One filtering round (Algorithm 2) on measurement `z`, control `u`.
-  void step(std::span<const T> z, std::span<const T> u = {}) {
+  /// `ctx`, when given, is the parent TraceContext the round span joins
+  /// (serve passes the request's batch context so kernel spans parent
+  /// under the request tree). Propagation is purely passive -- no RNG
+  /// consumed, no state touched -- so estimates are bit-identical with
+  /// and without a context (test-enforced, like telemetry attach).
+  void step(std::span<const T> z, std::span<const T> u = {},
+            const telemetry::TraceContext* ctx = nullptr) {
     {
       // Round-level span: every kernel span of this step nests inside it.
       telemetry::ScopedSpan round(tel_ ? &tel_->trace : nullptr, "step", 0,
-                                  n_filters_, step_);
+                                  n_filters_, step_,
+                                  ctx != nullptr ? ctx->track : 0, ctx);
+      step_ctx_ = round.child_context();
+      span_ctx_ = step_ctx_ ? &step_ctx_ : nullptr;
       run_rand();
       run_sampling(z, u);
       run_local_sort();
       run_global_estimate();
       run_exchange();
       run_resampling();
+      span_ctx_ = nullptr;
     }
     if (tel_) record_step_telemetry();
     if (mon_) record_step_monitor();
@@ -366,7 +376,9 @@ class DistributedParticleFilter {
   template <typename Kernel>
   void launch(const char* name, Kernel&& kernel) {
     telemetry::ScopedSpan span(tel_ ? &tel_->trace : nullptr, name, 0,
-                               n_filters_, step_);
+                               n_filters_, step_,
+                               span_ctx_ != nullptr ? span_ctx_->track : 0,
+                               span_ctx_);
     if (cnt_barriers_) cnt_barriers_->add(1);  // kernel-boundary global barrier
     if (checked_dev_) {
       checked_dev_->launch(name, n_filters_, kernel);
@@ -396,7 +408,9 @@ class DistributedParticleFilter {
       // The PRNG fill goes straight to the pool rather than through
       // launch(); give it its own kernel span.
       telemetry::ScopedSpan span(tel_ ? &tel_->trace : nullptr, "prng", 0,
-                                 n_filters_, step_);
+                                 n_filters_, step_,
+                                 span_ctx_ != nullptr ? span_ctx_->track : 0,
+                                 span_ctx_);
       stream_.fill(dev_->pool(), rand_, backend_);
     }
     if (cnt_barriers_) cnt_barriers_->add(1);  // the fill is a launch, too
@@ -968,6 +982,11 @@ class DistributedParticleFilter {
   StageTimers timers_;
   telemetry::Telemetry* tel_ = nullptr;
   monitor::HealthMonitor* mon_ = nullptr;
+  /// Round-span context of the in-flight step() (inert outside a traced
+  /// request); span_ctx_ points at it while the six kernels run so their
+  /// spans parent under the round.
+  telemetry::TraceContext step_ctx_{};
+  const telemetry::TraceContext* span_ctx_ = nullptr;
   std::array<telemetry::LatencyHistogram*, kStageCount> stage_hist_{};
   // Cached work.* registry counters (null without telemetry); kernels fold
   // their per-group deterministic tallies into these.

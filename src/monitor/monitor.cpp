@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <ostream>
+#include <utility>
 
 #include "resample/metropolis.hpp"
 #include "telemetry/json.hpp"
@@ -45,6 +46,11 @@ void HealthMonitor::set_sink(std::ostream* os) {
   sink_ = os;
 }
 
+void HealthMonitor::set_event_callback(std::function<void(const Event&)> cb) {
+  std::lock_guard lock(mutex_);
+  event_callback_ = std::move(cb);
+}
+
 void HealthMonitor::raise(Severity severity, const char* detector,
                           std::uint64_t step, std::int64_t group, double value,
                           double threshold) {
@@ -60,6 +66,7 @@ void HealthMonitor::raise(Severity severity, const char* detector,
   ++emitted_;
   ++per_detector_[e.detector];
   if (sink_) write_event_line(*sink_, e);
+  if (event_callback_) event_callback_(e);
   if (events_.size() < cfg_.max_events) events_.push_back(std::move(e));
 }
 

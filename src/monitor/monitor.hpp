@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <mutex>
@@ -99,6 +100,14 @@ class HealthMonitor {
   /// The stream is borrowed and must outlive the monitor's observations.
   void set_sink(std::ostream* os);
 
+  /// Called once per *emitted* event (suppressed trips don't fire it),
+  /// from the observing thread, with the monitor's internal lock held --
+  /// the callback must not re-enter the monitor. This is the hook the
+  /// serve layer uses to log events into a telemetry::FlightRecorder and
+  /// auto-dump its ring when a detector fires. Pass an empty function to
+  /// detach; the callback must stay valid across later observations.
+  void set_event_callback(std::function<void(const Event&)> cb);
+
   [[nodiscard]] const MonitorConfig& config() const { return cfg_; }
 
   // -- filter-facing probes (passive; called once per group per step) ----
@@ -153,6 +162,7 @@ class HealthMonitor {
   MonitorConfig cfg_;
   mutable std::mutex mutex_;
   std::ostream* sink_ = nullptr;
+  std::function<void(const Event&)> event_callback_;
   std::vector<Event> events_;
   std::size_t emitted_ = 0;
   std::size_t suppressed_ = 0;

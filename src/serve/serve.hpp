@@ -34,6 +34,10 @@
 
 #include "core/config.hpp"
 
+namespace esthera::monitor {
+class HealthMonitor;
+}
+
 namespace esthera::serve {
 
 /// Admission-control verdicts. kAccepted is the success value; everything
@@ -68,6 +72,26 @@ struct ServeConfig {
   /// Metrics sink for the serve.* catalogue (docs/OBSERVABILITY.md);
   /// null disables recording. Borrowed; must outlive the manager.
   telemetry::Telemetry* telemetry = nullptr;
+  /// Manager-level health monitor: its emitted events feed the flight
+  /// recorder, trigger the automatic flight dump, and appear in statusz.
+  /// The manager installs its event callback (one manager per monitor);
+  /// typically the same monitor is also attached to the sessions'
+  /// FilterConfigs. Borrowed; must outlive the manager.
+  monitor::HealthMonitor* monitor = nullptr;
+  /// When non-empty, the flight-recorder ring is dumped (overwritten) to
+  /// this path every time a monitor detector fires.
+  std::string flight_dump_path;
+  /// Mint a TraceContext per admitted request (request/queue_wait/batch/
+  /// step spans + flight span events). Purely passive: per-session
+  /// estimates are bit-identical either way (test-enforced). Trace spans
+  /// are only recorded when `telemetry` is attached; flight events are
+  /// always on.
+  bool trace_requests = true;
+  /// Seed for SplitMix64-derived trace ids: same (seed, ticket) -> same
+  /// trace id, so replayed workloads trace identically.
+  std::uint64_t trace_seed = 0x657374686572ull;  // "esther"
+  /// Per-thread flight-recorder ring capacity, in events.
+  std::size_t flight_events_per_thread = 4096;
 
   /// Throws std::invalid_argument on inconsistent bounds (zero queue or
   /// batch capacity, per-session cap above the global cap).

@@ -43,12 +43,15 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <ostream>
 #include <span>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -56,8 +59,12 @@
 #include "core/distributed_pf.hpp"
 #include "device/device.hpp"
 #include "mcore/thread_pool.hpp"
+#include "monitor/monitor.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/serve.hpp"
+#include "telemetry/context.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace esthera::serve {
@@ -83,6 +90,10 @@ class SessionManager {
   struct SubmitResult {
     Admission admission = Admission::kAccepted;
     std::uint64_t ticket = 0;
+    /// The request's minted trace identity (inert when rejected or when
+    /// ServeConfig::trace_requests is off). Lets callers log their own
+    /// trace id and lets tests predict exemplar retention.
+    telemetry::TraceContext trace;
     [[nodiscard]] bool ok() const { return admission == Admission::kAccepted; }
   };
 
@@ -102,8 +113,35 @@ class SessionManager {
         // (single-worker) pool: session steps parallelize across sessions
         // via pool_, never inside one session. This is what makes each
         // session's trajectory independent of the manager's worker count.
-        device_(std::make_shared<device::Device>(1)) {
+        device_(std::make_shared<device::Device>(1)),
+        flight_(cfg.flight_events_per_thread) {
     cfg_.validate();
+    // Flight-recorder code table: every code recorded on the hot path is
+    // a string literal; registering the addresses here lets dumps resolve
+    // them without the recorder ever storing strings.
+    for (const char* code :
+         {"request", "queue_wait", "batch", "step", "prng",
+          "sampling+weighting", "local sort", "global estimate", "exchange",
+          "resampling"}) {
+      flight_.register_code(code);
+    }
+    for (int a = 0; a < 6; ++a) {
+      flight_.register_code(to_string(static_cast<Admission>(a)));
+    }
+    for (const char* d :
+         {"ess_collapse", "parent_starvation", "entropy_floor",
+          "nonfinite_weights", "exchange_anomaly", "metropolis_bias",
+          "monitor"}) {
+      flight_.register_code(d);
+    }
+    if (cfg_.monitor != nullptr) {
+      // Monitor hook: every emitted detector event lands in the flight
+      // ring and (when configured) triggers the automatic ring dump.
+      // Called from observing threads with the monitor's lock held; the
+      // hook touches only the lock-free recorder and the dump mutex.
+      cfg_.monitor->set_event_callback(
+          [this](const monitor::Event& e) { on_monitor_event(e); });
+    }
     if (cfg_.telemetry != nullptr) {
       auto& reg = cfg_.telemetry->registry;
       cnt_accepted_ = &reg.counter("serve.requests.accepted");
@@ -129,10 +167,19 @@ class SessionManager {
       gauge_ckpt_bytes_ = &reg.gauge("serve.checkpoint.bytes");
       hist_latency_ = &reg.histogram("serve.request.latency");
       hist_batch_ = &reg.histogram("serve.batch.size");
+      // Introspection gauges (notes-only in the regression gate: gauges
+      // are never diffed, so these add no baseline churn).
+      gauge_dropped_spans_ = &reg.gauge("trace.dropped_spans");
+      gauge_flight_occupancy_ = &reg.gauge("flight.occupancy");
+      gauge_flight_overwritten_ = &reg.gauge("flight.overwritten");
     }
   }
 
-  ~SessionManager() = default;
+  ~SessionManager() {
+    // The monitor outlives the manager but the installed callback
+    // captures `this`; detach it before any member is torn down.
+    if (cfg_.monitor != nullptr) cfg_.monitor->set_event_callback({});
+  }
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
@@ -142,14 +189,17 @@ class SessionManager {
   /// Opens a session running `model` under `fcfg` (per-session seed, shape,
   /// telemetry, monitor all come from `fcfg`). The filter runs on the
   /// manager's shared single-worker device regardless of `fcfg.workers`.
-  [[nodiscard]] OpenResult open_session(Model model, core::FilterConfig fcfg) {
+  /// `tenant` is a free-form owner tag propagated into trace spans,
+  /// flight events, and statusz (0 = untagged).
+  [[nodiscard]] OpenResult open_session(Model model, core::FilterConfig fcfg,
+                                        std::uint64_t tenant = 0) {
     std::unique_lock lock(mutex_);
     if (const Admission a = admit_session_locked(); a != Admission::kAccepted) {
       return {note_reject(a), 0};
     }
     return insert_session_locked(
         std::make_unique<Filter>(std::move(model), fcfg, device_), fcfg,
-        cnt_opened_);
+        cnt_opened_, tenant);
   }
 
   /// Opens a session continuing the trajectory serialized in `blob`
@@ -159,7 +209,8 @@ class SessionManager {
   /// corruption. The restored session's next step is bit-identical to the
   /// step the source session would have taken.
   [[nodiscard]] OpenResult restore_session(Model model, core::FilterConfig fcfg,
-                                           std::span<const std::uint8_t> blob) {
+                                           std::span<const std::uint8_t> blob,
+                                           std::uint64_t tenant = 0) {
     const core::FilterState<T> state = decode_checkpoint<T>(blob);
     std::unique_lock lock(mutex_);
     if (const Admission a = admit_session_locked(); a != Admission::kAccepted) {
@@ -167,7 +218,7 @@ class SessionManager {
     }
     auto filter = std::make_unique<Filter>(std::move(model), fcfg, device_);
     filter->import_state(state);
-    return insert_session_locked(std::move(filter), fcfg, cnt_restored_);
+    return insert_session_locked(std::move(filter), fcfg, cnt_restored_, tenant);
   }
 
   /// Closes a session, dropping any requests still queued on it. Returns
@@ -239,11 +290,25 @@ class SessionManager {
     req.z.assign(z.begin(), z.end());
     req.u.assign(u.begin(), u.end());
     req.enqueued = Clock::now();
+    if (cfg_.trace_requests) {
+      // Mint the request's trace identity: deterministic in (trace_seed,
+      // ticket), so a replayed workload traces identically and tests can
+      // predict exemplar trace ids.
+      req.ctx = telemetry::TraceContext::mint(cfg_.trace_seed, req.ticket);
+      req.ctx.session = id;
+      req.ctx.tenant = it->second.tenant;
+      req.ctx.track = static_cast<std::uint32_t>(id);
+      req.ctx.flight = &flight_;
+    }
+    flight_.record(telemetry::FlightEventKind::kAdmission,
+                   to_string(Admission::kAccepted), req.ctx.trace_id, id,
+                   req.ticket);
     it->second.pending.push_back(std::move(req));
     ++queue_size_;
     if (cnt_accepted_) cnt_accepted_->add(1);
     publish_gauges_locked();
-    return {Admission::kAccepted, it->second.pending.back().ticket};
+    const Request& queued = it->second.pending.back();
+    return {Admission::kAccepted, queued.ticket, queued.ctx};
   }
 
   /// Dispatches one batch: up to max_batch pending requests (at most one
@@ -256,9 +321,14 @@ class SessionManager {
     struct Entry {
       SessionState* session = nullptr;
       Request req;
+      /// The request's batch-residency span context; the filter's round
+      /// span parents under it, completing the request -> queue_wait /
+      /// batch -> step -> kernels tree.
+      telemetry::TraceContext bctx;
     };
     std::vector<Entry> batch;
     BatchStats stats;
+    std::uint64_t batch_seq = 0;
     {
       std::unique_lock lock(mutex_);
       std::vector<SessionState*> ready;
@@ -278,20 +348,57 @@ class SessionManager {
       batch.reserve(ready.size());
       for (SessionState* s : ready) {
         s->busy = true;
-        batch.push_back({s, std::move(s->pending.front())});
+        batch.push_back({s, std::move(s->pending.front()), {}});
         s->pending.pop_front();
         --queue_size_;
         stats.tickets.push_back(batch.back().req.ticket);
       }
       stats.dispatched = batch.size();
       stats.queued_after = queue_size_;
+      if (!batch.empty()) {
+        batch_seq = next_batch_++;
+        ++in_flight_batches_;
+      }
       publish_gauges_locked();
     }
     if (batch.empty()) return stats;
+    const auto t_dispatch = Clock::now();
+    telemetry::TraceRecorder* trace =
+        cfg_.telemetry != nullptr ? &cfg_.telemetry->trace : nullptr;
+    if (trace != nullptr) {
+      for (Entry& e : batch) {
+        if (!e.req.ctx) continue;
+        // queue_wait: admission to batch selection, parented to the
+        // request span (recorded at completion below).
+        telemetry::TraceSpan qs;
+        qs.name = "queue_wait";
+        qs.ts_us = trace->us_since_epoch(e.req.enqueued);
+        qs.dur_us = std::chrono::duration<double, std::micro>(
+                        t_dispatch - e.req.enqueued)
+                        .count();
+        qs.track = e.req.ctx.track;
+        qs.trace_id = e.req.ctx.trace_id;
+        qs.span_id = telemetry::TraceContext::derive_span(e.req.ctx.span_id,
+                                                          "queue_wait");
+        qs.parent_span_id = e.req.ctx.span_id;
+        qs.session = e.req.ctx.session;
+        qs.tenant = e.req.ctx.tenant;
+        trace->record_span(std::move(qs));
+      }
+    }
+    flight_.record(telemetry::FlightEventKind::kSpanBegin, "batch", 0,
+                   batch_seq, batch.size());
     pool_.run(batch.size(), [&](std::size_t i, std::size_t /*worker*/) {
       Entry& e = batch[i];
-      e.session->filter->step(e.req.z, e.req.u);
+      if (e.req.ctx) {
+        e.bctx = e.req.ctx.child("batch", batch_seq);
+        e.session->filter->step(e.req.z, e.req.u, &e.bctx);
+      } else {
+        e.session->filter->step(e.req.z, e.req.u);
+      }
     });
+    flight_.record(telemetry::FlightEventKind::kSpanEnd, "batch", 0,
+                   batch_seq, batch.size());
     {
       std::unique_lock lock(mutex_);
       const auto now = Clock::now();
@@ -304,15 +411,51 @@ class SessionManager {
                                       e.session->work_base;
           e.session->cost = total / e.session->completed;
         }
+        // One latency value feeds the histogram sample, its exemplar, and
+        // the request span's duration, so an exemplar's trace resolves to
+        // a request span with the bit-identical duration.
+        const double lat_us =
+            std::chrono::duration<double, std::micro>(now - e.req.enqueued)
+                .count();
         if (hist_latency_) {
-          hist_latency_->record(
-              std::chrono::duration<double>(now - e.req.enqueued).count());
+          hist_latency_->record(lat_us * 1e-6, e.req.ctx.trace_id);
+        }
+        if (trace != nullptr && e.req.ctx) {
+          telemetry::TraceSpan bs;  // batch residency: selection -> done
+          bs.name = "batch";
+          bs.ts_us = trace->us_since_epoch(t_dispatch);
+          bs.dur_us =
+              std::chrono::duration<double, std::micro>(now - t_dispatch)
+                  .count();
+          bs.step = batch_seq;
+          bs.track = e.req.ctx.track;
+          bs.trace_id = e.req.ctx.trace_id;
+          bs.span_id = e.bctx.span_id;
+          bs.parent_span_id = e.req.ctx.span_id;
+          bs.session = e.req.ctx.session;
+          bs.tenant = e.req.ctx.tenant;
+          trace->record_span(std::move(bs));
+          telemetry::TraceSpan rs;  // request root: admission -> done
+          rs.name = "request";
+          rs.ts_us = trace->us_since_epoch(e.req.enqueued);
+          rs.dur_us = lat_us;
+          rs.step = e.req.ticket;
+          rs.track = e.req.ctx.track;
+          rs.trace_id = e.req.ctx.trace_id;
+          rs.span_id = e.req.ctx.span_id;
+          rs.parent_span_id = 0;
+          rs.session = e.req.ctx.session;
+          rs.tenant = e.req.ctx.tenant;
+          rs.deadline = e.req.deadline;
+          trace->record_span(std::move(rs));
         }
       }
       if (cnt_completed_) cnt_completed_->add(batch.size());
       if (cnt_batches_) cnt_batches_->add(1);
       if (hist_batch_) hist_batch_->record(static_cast<double>(batch.size()));
       stats.queued_after = queue_size_;
+      --in_flight_batches_;
+      publish_gauges_locked();
       idle_cv_.notify_all();
     }
     return stats;
@@ -380,6 +523,116 @@ class SessionManager {
     return it->second.filter->step_index();
   }
 
+  /// The always-on flight recorder (read-side: occupancy, events, dumps).
+  [[nodiscard]] const telemetry::FlightRecorder& flight() const {
+    return flight_;
+  }
+
+  /// Dumps the flight ring as `esthera.flight/1` JSONL (on-demand path;
+  /// the automatic path fires on monitor events, see ServeConfig).
+  void dump_flight(std::ostream& os) const { flight_.dump_jsonl(os); }
+
+  /// Live introspection: one `esthera.statusz/1` JSON document with
+  /// per-session state, queue depths, in-flight batches, latency
+  /// quantiles, trace/flight occupancy, and recent monitor events.
+  /// Non-blocking with respect to in-flight steps: busy sessions are
+  /// reported from manager-owned state only (never reads a busy filter).
+  void write_statusz(std::ostream& os) const {
+    std::unique_lock lock(mutex_);
+    telemetry::json::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "esthera.statusz/1");
+    w.kv("draining", draining_);
+    w.kv("workers", static_cast<std::uint64_t>(pool_.worker_count()));
+    w.kv("queue_depth", static_cast<std::uint64_t>(queue_size_));
+    w.kv("sessions_open", static_cast<std::uint64_t>(sessions_.size()));
+    w.kv("batches_in_flight", static_cast<std::uint64_t>(in_flight_batches_));
+    w.key("sessions");
+    w.begin_array();
+    for (const auto& [id, s] : sessions_) {
+      w.begin_object();
+      w.kv("id", static_cast<std::uint64_t>(id));
+      w.kv("tenant", s.tenant);
+      w.kv("pending", static_cast<std::uint64_t>(s.pending.size()));
+      w.kv("busy", s.busy);
+      w.kv("completed", s.completed);
+      w.kv("cost", s.cost);
+      w.end_object();
+    }
+    w.end_array();
+    if (hist_latency_ != nullptr) {
+      // Histogram writes happen under this same mutex, so quantile reads
+      // here are consistent.
+      w.key("latency");
+      w.begin_object();
+      w.kv("count", hist_latency_->count());
+      w.kv("p50", hist_latency_->quantile(0.50));
+      w.kv("p95", hist_latency_->quantile(0.95));
+      w.kv("p99", hist_latency_->quantile(0.99));
+      w.end_object();
+    }
+    if (cnt_accepted_ != nullptr) {
+      w.key("requests");
+      w.begin_object();
+      w.kv("accepted", cnt_accepted_->value());
+      w.kv("completed", cnt_completed_->value());
+      std::uint64_t rejected = 0;
+      for (const telemetry::Counter* c : cnt_rejected_) {
+        if (c != nullptr) rejected += c->value();
+      }
+      w.kv("rejected", rejected);
+      w.end_object();
+    }
+    if (cfg_.telemetry != nullptr) {
+      w.key("trace");
+      w.begin_object();
+      w.kv("spans",
+           static_cast<std::uint64_t>(cfg_.telemetry->trace.span_count()));
+      w.kv("dropped_spans", cfg_.telemetry->trace.dropped_spans());
+      w.end_object();
+    }
+    w.key("flight");
+    w.begin_object();
+    w.kv("occupancy", static_cast<std::uint64_t>(flight_.occupancy()));
+    w.kv("capacity", static_cast<std::uint64_t>(flight_.capacity()));
+    w.kv("total", flight_.total_recorded());
+    w.kv("overwritten", flight_.overwritten());
+    w.kv("dropped_threads", flight_.dropped_threads());
+    w.end_object();
+    if (cfg_.monitor != nullptr) {
+      // Lock order: manager mutex -> monitor mutex (the reverse path, the
+      // monitor callback, touches only the lock-free flight recorder and
+      // the dump mutex -- never the manager mutex -- so no cycle).
+      w.key("monitor");
+      w.begin_object();
+      w.kv("events",
+           static_cast<std::uint64_t>(cfg_.monitor->event_count()));
+      w.kv("suppressed",
+           static_cast<std::uint64_t>(cfg_.monitor->suppressed_count()));
+      const auto events = cfg_.monitor->events();
+      const std::size_t first = events.size() > 8 ? events.size() - 8 : 0;
+      w.key("recent");
+      w.begin_array();
+      for (std::size_t i = first; i < events.size(); ++i) {
+        const monitor::Event& e = events[i];
+        w.begin_object();
+        w.kv("detector", e.detector);
+        w.kv("severity", monitor::to_string(e.severity));
+        w.kv("step", static_cast<std::uint64_t>(e.step));
+        if (e.group != monitor::HealthMonitor::kNoGroup) {
+          w.kv("group", e.group);
+        }
+        w.kv("value", e.value);
+        w.kv("threshold", e.threshold);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+    os << '\n';
+  }
+
  private:
   struct Request {
     std::uint64_t ticket = 0;
@@ -387,10 +640,13 @@ class SessionManager {
     std::vector<T> z;
     std::vector<T> u;
     Clock::time_point enqueued;
+    /// Minted trace identity (trace_id == 0 when tracing is off).
+    telemetry::TraceContext ctx;
   };
 
   struct SessionState {
     SessionId id = 0;
+    std::uint64_t tenant = 0;  ///< owner tag propagated into spans/statusz
     std::unique_ptr<Filter> filter;
     std::deque<Request> pending;
     bool busy = false;            ///< currently stepping inside a batch
@@ -413,9 +669,11 @@ class SessionManager {
 
   OpenResult insert_session_locked(std::unique_ptr<Filter> filter,
                                    const core::FilterConfig& fcfg,
-                                   telemetry::Counter* opened_counter) {
+                                   telemetry::Counter* opened_counter,
+                                   std::uint64_t tenant) {
     SessionState s;
     s.id = next_session_++;
+    s.tenant = tenant;
     s.cost = step_cost_model(fcfg, filter->model().state_dim());
     if (fcfg.telemetry != nullptr) {
       auto& reg = fcfg.telemetry->registry;
@@ -432,11 +690,12 @@ class SessionManager {
   }
 
   Admission note_reject(Admission why) {
+    flight_.record(telemetry::FlightEventKind::kAdmission, to_string(why));
     if (telemetry::Counter* c = cnt_rejected_[static_cast<int>(why)]) c->add(1);
     return why;
   }
 
-  SubmitResult rejected(Admission why) { return {note_reject(why), 0}; }
+  SubmitResult rejected(Admission why) { return {note_reject(why), 0, {}}; }
 
   using SessionIter = typename std::map<SessionId, SessionState>::iterator;
 
@@ -458,18 +717,63 @@ class SessionManager {
   void publish_gauges_locked() {
     if (gauge_queue_) gauge_queue_->set(static_cast<double>(queue_size_));
     if (gauge_sessions_) gauge_sessions_->set(static_cast<double>(sessions_.size()));
+    if (gauge_dropped_spans_) {
+      gauge_dropped_spans_->set(
+          static_cast<double>(cfg_.telemetry->trace.dropped_spans()));
+    }
+    if (gauge_flight_occupancy_) {
+      gauge_flight_occupancy_->set(static_cast<double>(flight_.occupancy()));
+    }
+    if (gauge_flight_overwritten_) {
+      gauge_flight_overwritten_->set(static_cast<double>(flight_.overwritten()));
+    }
+  }
+
+  /// Maps a detector name back to the registered string literal so the
+  /// flight recorder stores a resolvable code address.
+  [[nodiscard]] static const char* detector_code(const std::string& name) {
+    for (const char* d :
+         {"ess_collapse", "parent_starvation", "entropy_floor",
+          "nonfinite_weights", "exchange_anomaly", "metropolis_bias"}) {
+      if (name == d) return d;
+    }
+    return "monitor";
+  }
+
+  /// Monitor event hook: runs on the observing thread with the monitor's
+  /// lock held. Must never take mutex_ (statusz holds mutex_ and then the
+  /// monitor's lock); it touches only the lock-free flight recorder and
+  /// the dedicated dump mutex.
+  void on_monitor_event(const monitor::Event& e) {
+    flight_.record(telemetry::FlightEventKind::kMonitor,
+                   detector_code(e.detector), 0,
+                   static_cast<std::uint64_t>(e.step),
+                   static_cast<std::uint64_t>(e.group));
+    if (!cfg_.flight_dump_path.empty()) dump_flight_to_path();
+  }
+
+  void dump_flight_to_path() const {
+    std::lock_guard dump_lock(flight_dump_mutex_);
+    std::ofstream os(cfg_.flight_dump_path, std::ios::trunc);
+    if (os) flight_.dump_jsonl(os);
   }
 
   ServeConfig cfg_;
   mcore::ThreadPool pool_;
   std::shared_ptr<device::Device> device_;
+  /// Always-on black box; declared after device_ to match the ctor init
+  /// list, before anything that records into it.
+  telemetry::FlightRecorder flight_;
+  mutable std::mutex flight_dump_mutex_;  ///< serializes automatic dumps
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
   std::map<SessionId, SessionState> sessions_;
   std::size_t queue_size_ = 0;
+  std::size_t in_flight_batches_ = 0;  ///< batches between dispatch and done
   bool draining_ = false;
   SessionId next_session_ = 1;
   std::uint64_t next_ticket_ = 1;
+  std::uint64_t next_batch_ = 1;  ///< batch sequence (span step + child salt)
   // Cached serve.* metrics (null without telemetry).
   telemetry::Counter* cnt_accepted_ = nullptr;
   telemetry::Counter* cnt_completed_ = nullptr;
@@ -483,6 +787,9 @@ class SessionManager {
   telemetry::Gauge* gauge_queue_ = nullptr;
   telemetry::Gauge* gauge_sessions_ = nullptr;
   telemetry::Gauge* gauge_ckpt_bytes_ = nullptr;
+  telemetry::Gauge* gauge_dropped_spans_ = nullptr;
+  telemetry::Gauge* gauge_flight_occupancy_ = nullptr;
+  telemetry::Gauge* gauge_flight_overwritten_ = nullptr;
   telemetry::LatencyHistogram* hist_latency_ = nullptr;
   telemetry::LatencyHistogram* hist_batch_ = nullptr;
 };

@@ -1,0 +1,226 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "telemetry/json.hpp"
+
+namespace esthera::telemetry {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_flight_id{1};
+
+std::string hex_id(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(FlightEventKind k) {
+  switch (k) {
+    case FlightEventKind::kSpanBegin:
+      return "span_begin";
+    case FlightEventKind::kSpanEnd:
+      return "span_end";
+    case FlightEventKind::kAdmission:
+      return "admission";
+    case FlightEventKind::kMonitor:
+      return "monitor";
+    case FlightEventKind::kMark:
+      return "mark";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t events_per_thread,
+                               std::size_t max_threads)
+    : id_(g_next_flight_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()),
+      cap_(events_per_thread == 0 ? 1 : events_per_thread),
+      max_threads_(max_threads == 0 ? 1 : max_threads) {
+  slots_.reserve(max_threads_);
+  for (std::size_t i = 0; i < max_threads_; ++i) {
+    slots_.push_back(std::make_unique<Slot>(cap_ * kWords));
+  }
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder::Slot* FlightRecorder::local_slot() noexcept {
+  struct CacheEntry {
+    std::uint64_t recorder_id;
+    Slot* slot;  // null = this thread arrived past max_threads
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache) {
+    if (e.recorder_id == id_) return e.slot;
+  }
+  // First record from this thread against this recorder: claim a slot.
+  // The claim itself is one fetch_add; the cache push_back may allocate,
+  // but only once per (thread, recorder) pair.
+  const std::size_t idx = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  Slot* slot = idx < max_threads_ ? slots_[idx].get() : nullptr;
+  try {
+    cache.push_back({id_, slot});
+  } catch (...) {
+    // Out of memory caching the claim: the slot stays claimed and the
+    // lookup retries (and re-claims) next time. Harmless, bounded loss.
+  }
+  return slot;
+}
+
+void FlightRecorder::record(FlightEventKind kind, const char* code,
+                            std::uint64_t trace_id, std::uint64_t a,
+                            std::uint64_t b) noexcept {
+  Slot* s = local_slot();
+  if (s == nullptr) {
+    dropped_threads_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t seq = s->head.load(std::memory_order_relaxed);
+  const std::size_t base = static_cast<std::size_t>(seq % cap_) * kWords;
+  auto* w = s->ring.data() + base;
+  // Seqlock write side (Boehm's construction): mark the slot in-progress,
+  // release-fence, scribble, then publish seq + 1. A reader that observes
+  // any of this generation's words sees either the in-progress marker or
+  // a mismatched generation on its validation reload and discards.
+  w[kSeqWord].store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  w[0].store(now_ns(), std::memory_order_relaxed);
+  w[1].store(static_cast<std::uint64_t>(kind), std::memory_order_relaxed);
+  w[2].store(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(code)),
+             std::memory_order_relaxed);
+  w[3].store(trace_id, std::memory_order_relaxed);
+  w[4].store(a, std::memory_order_relaxed);
+  w[5].store(b, std::memory_order_relaxed);
+  w[kSeqWord].store(seq + 1, std::memory_order_release);
+  s->head.store(seq + 1, std::memory_order_release);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlightRecorder::register_code(const char* code) {
+  if (code == nullptr) return;
+  std::lock_guard lock(codes_mutex_);
+  for (const char* c : codes_) {
+    if (c == code) return;
+  }
+  codes_.push_back(code);
+}
+
+std::string FlightRecorder::resolve_code(std::uint64_t word) const {
+  const auto* ptr = reinterpret_cast<const char*>(
+      static_cast<std::uintptr_t>(word));
+  std::lock_guard lock(codes_mutex_);
+  for (const char* c : codes_) {
+    if (c == ptr) return c;
+  }
+  return "?";  // unregistered: never dereference an unknown pointer
+}
+
+std::size_t FlightRecorder::occupancy() const {
+  std::size_t total = 0;
+  const std::size_t active =
+      std::min(next_slot_.load(std::memory_order_relaxed), max_threads_);
+  for (std::size_t i = 0; i < active; ++i) {
+    const std::uint64_t h = slots_[i]->head.load(std::memory_order_acquire);
+    total += static_cast<std::size_t>(std::min<std::uint64_t>(h, cap_));
+  }
+  return total;
+}
+
+std::size_t FlightRecorder::capacity() const { return cap_ * max_threads_; }
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  std::uint64_t total = 0;
+  const std::size_t active =
+      std::min(next_slot_.load(std::memory_order_relaxed), max_threads_);
+  for (std::size_t i = 0; i < active; ++i) {
+    const std::uint64_t h = slots_[i]->head.load(std::memory_order_acquire);
+    if (h > cap_) total += h - cap_;
+  }
+  return total;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  const std::size_t active =
+      std::min(next_slot_.load(std::memory_order_relaxed), max_threads_);
+  for (std::size_t i = 0; i < active; ++i) {
+    const Slot& s = *slots_[i];
+    const std::uint64_t h = s.head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(h, cap_);
+    for (std::uint64_t seq = h - n; seq < h; ++seq) {
+      const std::size_t base = static_cast<std::size_t>(seq % cap_) * kWords;
+      // Seqlock read side: the generation word must read seq + 1 on both
+      // sides of the copy, otherwise a lapping writer was scribbling over
+      // the slot mid-copy and the candidate is discarded as torn.
+      if (s.ring[base + kSeqWord].load(std::memory_order_acquire) != seq + 1) {
+        continue;
+      }
+      std::uint64_t w[kWords];
+      for (std::size_t k = 0; k < kSeqWord; ++k) {
+        w[k] = s.ring[base + k].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.ring[base + kSeqWord].load(std::memory_order_relaxed) != seq + 1) {
+        continue;
+      }
+      FlightEvent e;
+      e.ts_ns = w[0];
+      e.thread = static_cast<std::uint32_t>(i);
+      e.kind = static_cast<FlightEventKind>(w[1]);
+      e.code = resolve_code(w[2]);
+      e.trace_id = w[3];
+      e.a = w[4];
+      e.b = w[5];
+      out.push_back(std::move(e));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+void FlightRecorder::dump_jsonl(std::ostream& os) const {
+  const auto evs = events();
+  for (const auto& e : evs) {
+    json::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "esthera.flight/1");
+    w.kv("ts_ns", e.ts_ns);
+    w.kv("thread", std::uint64_t{e.thread});
+    w.kv("kind", to_string(e.kind));
+    w.kv("code", e.code);
+    if (e.trace_id != 0) w.kv("trace", hex_id(e.trace_id));
+    w.kv("a", e.a);
+    w.kv("b", e.b);
+    w.end_object();
+    os << '\n';
+  }
+}
+
+void FlightRecorder::clear() {
+  for (auto& s : slots_) {
+    // Invalidate every generation word so stale pre-clear events can never
+    // re-validate against a post-clear sequence number.
+    for (std::size_t e = 0; e < cap_; ++e) {
+      s->ring[e * kWords + kSeqWord].store(0, std::memory_order_relaxed);
+    }
+    s->head.store(0, std::memory_order_release);
+  }
+  total_.store(0, std::memory_order_relaxed);
+  dropped_threads_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace esthera::telemetry

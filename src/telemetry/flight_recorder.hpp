@@ -1,0 +1,141 @@
+// FlightRecorder: an always-on, lock-free, bounded ring of compact
+// binary events -- span begin/end, admission verdicts, monitor events --
+// cheap enough to leave running in production serve paths. When a
+// HealthMonitor detector fires, the recent ring contents answer "what was
+// the runtime doing right before this?" without having had tracing
+// enabled in advance (the black-box / flight-recorder pattern).
+//
+// Hot path: one thread-local slot lookup plus six relaxed atomic word
+// stores and one release head store. No mutex, no allocation (after a
+// thread's first record against a recorder), no string handling -- event
+// "codes" are the addresses of registered string literals, resolved back
+// to text only at dump time. Unregistered codes dump as "?" rather than
+// chasing a possibly dangling pointer.
+//
+// Each thread writes its own single-producer ring, so writers never
+// contend; readers (dump_jsonl / events()) snapshot every ring without
+// stopping writers, re-validating the head after each copy to discard
+// events overwritten mid-read. Wrapping is the design: the ring keeps the
+// most recent `events_per_thread` events per thread and counts the rest
+// in overwritten().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace esthera::telemetry {
+
+enum class FlightEventKind : std::uint8_t {
+  kSpanBegin = 1,  ///< a ScopedSpan opened (a = filter step)
+  kSpanEnd = 2,    ///< a ScopedSpan closed (a = filter step, b = dur ns)
+  kAdmission = 3,  ///< submit()/open verdict (a = session, b = ticket)
+  kMonitor = 4,    ///< HealthMonitor event (a = step, b = group as u64)
+  kMark = 5,       ///< free-form caller marker
+};
+
+[[nodiscard]] const char* to_string(FlightEventKind k);
+
+/// One decoded event (dump-time representation only; the ring itself
+/// stores six raw words per event).
+struct FlightEvent {
+  std::uint64_t ts_ns = 0;  ///< nanoseconds since recorder construction
+  std::uint32_t thread = 0;  ///< writer slot index
+  FlightEventKind kind = FlightEventKind::kMark;
+  std::string code;  ///< resolved code string ("?" if unregistered)
+  std::uint64_t trace_id = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultEventsPerThread = 4096;
+  static constexpr std::size_t kDefaultMaxThreads = 64;
+
+  explicit FlightRecorder(
+      std::size_t events_per_thread = kDefaultEventsPerThread,
+      std::size_t max_threads = kDefaultMaxThreads);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Hot path: logs one event into the calling thread's ring. `code` must
+  /// be a string with static storage duration (a literal); only its
+  /// address is stored. Lock-free and allocation-free in steady state;
+  /// never throws. Threads beyond `max_threads` are counted in
+  /// dropped_threads() and their events discarded.
+  void record(FlightEventKind kind, const char* code,
+              std::uint64_t trace_id = 0, std::uint64_t a = 0,
+              std::uint64_t b = 0) noexcept;
+
+  /// Registers `code` (by address) for dump-time resolution. Call at
+  /// setup; recording an unregistered code is safe but dumps as "?".
+  void register_code(const char* code);
+
+  /// Events currently retained across all rings.
+  [[nodiscard]] std::size_t occupancy() const;
+  /// Retention ceiling: events_per_thread * max_threads.
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] std::size_t events_per_thread() const { return cap_; }
+  /// Total record() calls that landed in a ring (including overwritten).
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  /// Events lost to ring wrap (oldest-first overwrite).
+  [[nodiscard]] std::uint64_t overwritten() const;
+  /// record() calls from threads beyond max_threads (discarded).
+  [[nodiscard]] std::uint64_t dropped_threads() const {
+    return dropped_threads_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the retained events, oldest first (merged across rings,
+  /// ordered by timestamp). Safe against concurrent record().
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+
+  /// One `esthera.flight/1` JSON object per line, oldest first.
+  void dump_jsonl(std::ostream& os) const;
+
+  /// Resets every ring and counter; concurrent-writer-safe only in the
+  /// sense that racing events may land before or after the reset.
+  void clear();
+
+ private:
+  // Per-event words: ts, kind, code, trace, a, b, plus a seqlock word
+  // (seq + 1, 0 while a write is in progress) the reader validates on
+  // both sides of its copy to reject torn events.
+  static constexpr std::size_t kWords = 7;
+  static constexpr std::size_t kSeqWord = 6;
+
+  struct Slot {
+    explicit Slot(std::size_t words) : ring(words) {}
+    std::atomic<std::uint64_t> head{0};  ///< events ever written (release)
+    std::vector<std::atomic<std::uint64_t>> ring;
+  };
+
+  [[nodiscard]] Slot* local_slot() noexcept;
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+  [[nodiscard]] std::string resolve_code(std::uint64_t word) const;
+
+  std::uint64_t id_;  ///< process-unique, keys the thread-local slot cache
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t cap_;          ///< events per thread ring
+  std::size_t max_threads_;  ///< slot count (preallocated)
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::size_t> next_slot_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> dropped_threads_{0};
+  mutable std::mutex codes_mutex_;  ///< guards codes_ (setup/dump only)
+  std::vector<const char*> codes_;
+};
+
+}  // namespace esthera::telemetry

@@ -36,6 +36,35 @@ class LatencyHistogram {
     ++buckets_[bucket_index(seconds)];
   }
 
+  /// record() plus exemplar retention: the bucket keeps the trace id of
+  /// one representative sample, so a p99 spike links to a concrete
+  /// request trace. The retained exemplar is the bucket's maximum value
+  /// (ties: smaller trace id) -- a rule independent of arrival order, so
+  /// the same samples yield the same exemplar across worker counts.
+  /// trace_id 0 means "untraced" and records without an exemplar.
+  void record(double seconds, std::uint64_t trace_id) {
+    if (!(seconds >= 0.0)) seconds = 0.0;
+    record(seconds);
+    if (trace_id == 0) return;
+    const std::size_t b = bucket_index(seconds);
+    Exemplar& e = exemplars_[b];
+    if (e.trace_id == 0 || seconds > e.value ||
+        (seconds == e.value && trace_id < e.trace_id)) {
+      e.value = seconds;
+      e.trace_id = trace_id;
+    }
+  }
+
+  /// Bucket b's retained exemplar trace id (0 = none retained).
+  [[nodiscard]] std::uint64_t exemplar_trace(std::size_t b) const {
+    return exemplars_[b].trace_id;
+  }
+  /// Bucket b's retained exemplar value (meaningful when exemplar_trace
+  /// is nonzero).
+  [[nodiscard]] double exemplar_value(std::size_t b) const {
+    return exemplars_[b].value;
+  }
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
@@ -91,9 +120,9 @@ class LatencyHistogram {
     min_ = 0.0;
     max_ = 0.0;
     buckets_.fill(0);
+    exemplars_.fill(Exemplar{});
   }
 
- private:
   [[nodiscard]] static std::size_t bucket_index(double seconds) {
     if (seconds <= kMinSeconds) return 0;
     // log_{sqrt(2)}(s / kMin) = 2 * log2(s / kMin); bucket b covers
@@ -103,11 +132,18 @@ class LatencyHistogram {
     return std::min(b, kBucketCount - 1);
   }
 
+ private:
+  struct Exemplar {
+    double value = 0.0;
+    std::uint64_t trace_id = 0;  ///< 0 = no exemplar retained
+  };
+
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
   std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::array<Exemplar, kBucketCount> exemplars_{};
 };
 
 }  // namespace esthera::telemetry

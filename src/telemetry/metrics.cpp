@@ -1,5 +1,6 @@
 #include "telemetry/metrics.hpp"
 
+#include <cstdio>
 #include <ostream>
 
 #include "telemetry/json.hpp"
@@ -45,6 +46,31 @@ void write_histogram(json::JsonWriter& w, const LatencyHistogram& h) {
   w.kv("p50", h.p50());
   w.kv("p95", h.p95());
   w.kv("p99", h.p99());
+  bool any_exemplar = false;
+  for (std::size_t b = 0; b < LatencyHistogram::kBucketCount; ++b) {
+    if (h.exemplar_trace(b) != 0) {
+      any_exemplar = true;
+      break;
+    }
+  }
+  if (any_exemplar) {
+    // Tail-linkage: each bucket's retained exemplar trace id, so a p99
+    // spike in the report resolves to a concrete request trace.
+    w.key("exemplars");
+    w.begin_array();
+    for (std::size_t b = 0; b < LatencyHistogram::kBucketCount; ++b) {
+      if (h.exemplar_trace(b) == 0) continue;
+      w.begin_object();
+      w.kv("bucket", std::uint64_t{b});
+      w.kv("value", h.exemplar_value(b));
+      char hex[19];
+      std::snprintf(hex, sizeof hex, "0x%016llx",
+                    static_cast<unsigned long long>(h.exemplar_trace(b)));
+      w.kv("trace", hex);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 

@@ -1,11 +1,55 @@
 #include "telemetry/trace.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <utility>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 
 namespace esthera::telemetry {
+
+namespace {
+
+// Process-unique recorder ids key the thread-local buffer cache; ids are
+// never reused, so a cache entry for a destroyed recorder can never alias
+// a newly constructed one at the same address.
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+std::string hex_id(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t max_spans)
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(Clock::now()),
+      max_spans_(max_spans) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  struct CacheEntry {
+    std::uint64_t recorder_id;
+    ThreadBuffer* buffer;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache) {
+    if (e.recorder_id == id_) return *e.buffer;
+  }
+  std::lock_guard lock(buffers_mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buf = buffers_.back().get();
+  cache.push_back({id_, buf});
+  return *buf;
+}
 
 void TraceRecorder::record(std::string name, Clock::time_point start,
                            Clock::time_point end, std::size_t group_begin,
@@ -13,24 +57,55 @@ void TraceRecorder::record(std::string name, Clock::time_point start,
                            std::uint32_t track) {
   TraceSpan span;
   span.name = std::move(name);
-  span.ts_us = std::chrono::duration<double, std::micro>(start - epoch_).count();
+  span.ts_us = us_since_epoch(start);
   span.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
   span.group_begin = group_begin;
   span.group_end = group_end;
   span.step = step;
   span.track = track;
-  std::lock_guard lock(mutex_);
-  spans_.push_back(std::move(span));
+  record_span(std::move(span));
+}
+
+void TraceRecorder::record_span(TraceSpan span) {
+  // fetch_add reserves a slot under the cap: concurrent recorders may
+  // transiently overshoot the counter, but only reservations below
+  // max_spans_ ever store, so at most max_spans_ spans are retained.
+  const std::uint64_t n = accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (n >= max_spans_) {
+    accepted_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  span.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ThreadBuffer& buf = local_buffer();
+  try {
+    std::lock_guard lock(buf.mutex);
+    buf.spans.push_back(std::move(span));
+  } catch (...) {
+    accepted_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
 }
 
 std::size_t TraceRecorder::span_count() const {
-  std::lock_guard lock(mutex_);
-  return spans_.size();
+  return static_cast<std::size_t>(accepted_.load(std::memory_order_relaxed));
 }
 
 std::vector<TraceSpan> TraceRecorder::spans() const {
-  std::lock_guard lock(mutex_);
-  return spans_;
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard lock(buffers_mutex_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard buf_lock(buf->mutex);
+      out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+    }
+  }
+  // Merge in recorder-global record order, so single-threaded callers see
+  // exactly the order they recorded in regardless of buffer layout.
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) { return a.seq < b.seq; });
+  return out;
 }
 
 void TraceRecorder::write_chrome_trace(std::ostream& os) const {
@@ -54,6 +129,15 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
     w.kv("step", s.step);
     w.kv("group_begin", std::uint64_t{s.group_begin});
     w.kv("group_end", std::uint64_t{s.group_end});
+    if (s.trace_id != 0) {
+      w.kv("trace", hex_id(s.trace_id));
+      w.kv("span", hex_id(s.span_id));
+      w.kv("parent", hex_id(s.parent_span_id));
+      w.kv("session", s.session);
+      w.kv("tenant", s.tenant);
+    }
+    if (s.thrown) w.kv("thrown", true);
+    if (std::isfinite(s.deadline)) w.kv("deadline", s.deadline);
     w.end_object();
     w.end_object();
   }
@@ -62,8 +146,74 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard lock(mutex_);
-  spans_.clear();
+  std::lock_guard lock(buffers_mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard buf_lock(buf->mutex);
+    buf->spans.clear();
+  }
+  accepted_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder* recorder, const char* name,
+                       std::size_t group_begin, std::size_t group_end,
+                       std::uint64_t step, std::uint32_t track,
+                       const TraceContext* ctx)
+    : recorder_(recorder),
+      name_(name),
+      group_begin_(group_begin),
+      group_end_(group_end),
+      step_(step),
+      track_(track) {
+  if (ctx != nullptr && *ctx) {
+    self_ = ctx->child(name_, step_);
+    parent_span_id_ = ctx->span_id;
+    if (track_ == 0) track_ = self_.track;
+  }
+  if (recorder_ == nullptr && self_.flight == nullptr) return;
+  uncaught_on_entry_ = std::uncaught_exceptions();
+  start_ = TraceRecorder::Clock::now();
+  if (self_.flight != nullptr) {
+    self_.flight->record(FlightEventKind::kSpanBegin, name_, self_.trace_id,
+                         step_, 0);
+  }
+}
+
+ScopedSpan::~ScopedSpan() noexcept {
+  if (recorder_ == nullptr && self_.flight == nullptr) return;
+  const auto end = TraceRecorder::Clock::now();
+  // Exiting by exception must still record the span (a throwing model
+  // loses its timing otherwise) and must never throw out of the unwind.
+  const bool thrown = std::uncaught_exceptions() > uncaught_on_entry_;
+  if (self_.flight != nullptr) {
+    const auto dur_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            end - start_)
+                            .count();
+    self_.flight->record(FlightEventKind::kSpanEnd, name_, self_.trace_id,
+                         step_, static_cast<std::uint64_t>(dur_ns));
+  }
+  if (recorder_ == nullptr) return;
+  try {
+    TraceSpan span;
+    span.name = name_;
+    span.ts_us = recorder_->us_since_epoch(start_);
+    span.dur_us =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    span.step = step_;
+    span.group_begin = group_begin_;
+    span.group_end = group_end_;
+    span.track = track_;
+    span.trace_id = self_.trace_id;
+    span.span_id = self_.span_id;
+    span.parent_span_id = parent_span_id_;
+    span.session = self_.session;
+    span.tenant = self_.tenant;
+    span.thrown = thrown;
+    recorder_->record_span(std::move(span));
+  } catch (...) {
+    // Out-of-memory while recording: drop the span, never terminate().
+  }
 }
 
 }  // namespace esthera::telemetry

@@ -1,17 +1,32 @@
 // TraceRecorder: captures every device kernel launch (and each filter
-// round) as a timed span and exports Chrome Trace Event JSON, loadable in
-// chrome://tracing and Perfetto (ui.perfetto.dev). Spans carry the stage
-// name, the launched group range, and the filter step, so a trace shows
-// the paper's six-kernel barrier structure directly on a timeline.
+// round, and -- through serve -- each request lifecycle stage) as a timed
+// span and exports Chrome Trace Event JSON, loadable in chrome://tracing
+// and Perfetto (ui.perfetto.dev). Spans carry the stage name, the
+// launched group range, the filter step, and (when a TraceContext is
+// propagated) the request's trace id, span parenting, session, and
+// tenant -- so one view shows request -> queue_wait -> batch ->
+// session_step -> {prng, weigh, sort, estimate, exchange, resample} as a
+// single parented tree.
+//
+// Capture goes to per-thread buffers (registered once per thread, merged
+// on export), so the hot path never contends on a recorder-wide mutex.
+// The recorder is bounded: past `max_spans` accepted spans, further
+// record() calls are counted in dropped_spans() and discarded, keeping
+// long serve runs at a fixed memory ceiling.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "telemetry/context.hpp"
 
 namespace esthera::telemetry {
 
@@ -23,24 +38,59 @@ struct TraceSpan {
   std::uint64_t step = 0;    ///< filter round the launch belongs to
   std::size_t group_begin = 0;  ///< launched work-group range [begin, end)
   std::size_t group_end = 0;
-  std::uint32_t track = 0;   ///< Chrome "tid": one track per filter/device
+  std::uint32_t track = 0;   ///< Chrome "tid": one track per filter/session
+  // Request-tree identity (all 0 outside a traced request):
+  std::uint64_t trace_id = 0;        ///< whole-request id
+  std::uint64_t span_id = 0;         ///< this span's id
+  std::uint64_t parent_span_id = 0;  ///< 0 = tree root
+  std::uint64_t session = 0;         ///< serve session id
+  std::uint64_t tenant = 0;          ///< serve tenant tag
+  bool thrown = false;  ///< the traced region exited by exception
+  /// Request deadline (serve's urgency scalar); exported only when finite
+  /// (NaN = untagged, +inf = submitted with kNoDeadline).
+  double deadline = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t seq = 0;  ///< recorder-global record order (not exported)
 };
 
-/// Collects spans (thread-safe append) and serializes them. The epoch is
-/// fixed at construction so spans from multiple filters sharing one
-/// recorder land on a common timeline.
+/// Collects spans (thread-safe, per-thread buffered) and serializes them.
+/// The epoch is fixed at construction so spans from multiple filters
+/// sharing one recorder land on a common timeline.
 class TraceRecorder {
  public:
   using Clock = std::chrono::steady_clock;
 
-  TraceRecorder() : epoch_(Clock::now()) {}
+  /// Default span capacity; beyond it spans are dropped (and counted).
+  static constexpr std::size_t kDefaultMaxSpans = std::size_t{1} << 20;
+
+  explicit TraceRecorder(std::size_t max_spans = kDefaultMaxSpans);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   void record(std::string name, Clock::time_point start, Clock::time_point end,
               std::size_t group_begin, std::size_t group_end,
               std::uint64_t step, std::uint32_t track = 0);
 
+  /// Full-control variant: the caller fills every TraceSpan field except
+  /// seq (assigned here). Used by serve to stamp ts/dur consistent with
+  /// the latency it records into histograms.
+  void record_span(TraceSpan span);
+
+  /// Microseconds of `tp` on this recorder's timeline (for callers
+  /// composing TraceSpans by hand).
+  [[nodiscard]] double us_since_epoch(Clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+  }
+
   [[nodiscard]] std::size_t span_count() const;
-  /// Snapshot copy of the recorded spans (safe against concurrent record()).
+  /// Spans record() calls discarded after the max_spans cap was reached.
+  [[nodiscard]] std::uint64_t dropped_spans() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t max_spans() const { return max_spans_; }
+
+  /// Snapshot copy of the recorded spans in record order (safe against
+  /// concurrent record(); merges the per-thread buffers).
   [[nodiscard]] std::vector<TraceSpan> spans() const;
 
   /// Chrome Trace Event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}
@@ -50,36 +100,48 @@ class TraceRecorder {
   void clear();
 
  private:
+  struct ThreadBuffer {
+    std::mutex mutex;  // uncontended: one writer thread, readers only on export
+    std::vector<TraceSpan> spans;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  std::uint64_t id_;  ///< process-unique, keys the thread-local buffer cache
   Clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<TraceSpan> spans_;  // guarded by mutex_
+  std::size_t max_spans_;
+  std::atomic<std::uint64_t> accepted_{0};  ///< spans admitted under the cap
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> next_seq_{0};
+  mutable std::mutex buffers_mutex_;  ///< guards buffers_ (registration/export)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
 
 /// RAII span: records [construction, destruction) into `recorder`; a null
-/// recorder makes the whole object a no-op (the telemetry-off fast path --
-/// no clock read, no lock).
+/// recorder with no flight-carrying context makes the whole object a
+/// no-op (the telemetry-off fast path -- no clock read, no lock). The
+/// span is recorded even when the traced region exits by exception (the
+/// span is then flagged `thrown`); the destructor never throws.
+///
+/// `ctx`, when given, is the PARENT context: the span joins ctx's trace,
+/// parents under ctx->span_id, derives its own id from (parent, name,
+/// step), inherits session/tenant/track tags, and mirrors begin/end
+/// events into ctx->flight when set. child_context() then denotes this
+/// span, for nesting the next level down.
 class ScopedSpan {
  public:
   ScopedSpan(TraceRecorder* recorder, const char* name, std::size_t group_begin,
-             std::size_t group_end, std::uint64_t step, std::uint32_t track = 0)
-      : recorder_(recorder),
-        name_(name),
-        group_begin_(group_begin),
-        group_end_(group_end),
-        step_(step),
-        track_(track) {
-    if (recorder_) start_ = TraceRecorder::Clock::now();
-  }
+             std::size_t group_end, std::uint64_t step, std::uint32_t track = 0,
+             const TraceContext* ctx = nullptr);
 
-  ~ScopedSpan() {
-    if (recorder_) {
-      recorder_->record(name_, start_, TraceRecorder::Clock::now(), group_begin_,
-                        group_end_, step_, track_);
-    }
-  }
+  ~ScopedSpan() noexcept;
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Context denoting this span (for parenting children under it).
+  /// Zero-id (inert) when no parent context was given.
+  [[nodiscard]] const TraceContext& child_context() const { return self_; }
 
  private:
   TraceRecorder* recorder_;
@@ -88,6 +150,9 @@ class ScopedSpan {
   std::size_t group_end_;
   std::uint64_t step_;
   std::uint32_t track_;
+  TraceContext self_{};  ///< this span's identity (inert without ctx)
+  std::uint64_t parent_span_id_ = 0;
+  int uncaught_on_entry_ = 0;
   TraceRecorder::Clock::time_point start_{};
 };
 
