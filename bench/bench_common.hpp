@@ -29,6 +29,7 @@
 #include "models/robot_arm.hpp"
 #include "sim/ground_truth.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/openmetrics.hpp"
 #include "telemetry/sinks.hpp"
 #include "telemetry/telemetry.hpp"
 #include "version.hpp"
@@ -42,7 +43,8 @@ inline std::vector<std::string> standard_flags(std::vector<std::string> extras =
   std::vector<std::string> flags = {"--full",         "--json",
                                     "--trace",        "--series-jsonl",
                                     "--series-csv",   "--telemetry",
-                                    "--workers",      "--backend"};
+                                    "--workers",      "--backend",
+                                    "--openmetrics"};
   flags.insert(flags.end(), extras.begin(), extras.end());
   return flags;
 }
@@ -253,6 +255,9 @@ inline void print_header(const char* figure, const char* description) {
 ///                          (load in chrome://tracing or ui.perfetto.dev)
 ///   --series-jsonl <path>  per-step series as JSON Lines
 ///   --series-csv <path>    per-step series as CSV
+///   --openmetrics <path>   OpenMetrics text exposition of the metrics
+///                          registry (Prometheus-scrapable; counters,
+///                          gauges, histograms with le buckets + exemplars)
 ///   --telemetry            attach telemetry without exporting (breakdowns
 ///                          and counters still accumulate)
 ///   --workers N            worker-thread override (precedence over
@@ -272,12 +277,13 @@ class Report {
         json_path_(cli.get("--json", "")),
         trace_path_(cli.get("--trace", "")),
         jsonl_path_(cli.get("--series-jsonl", "")),
-        csv_path_(cli.get("--series-csv", "")) {
+        csv_path_(cli.get("--series-csv", "")),
+        openmetrics_path_(cli.get("--openmetrics", "")) {
     apply_workers_flag(cli);
     apply_backend_flag(cli);
     if (telemetry::kTelemetryBuild || cli.has("--telemetry") ||
         !json_path_.empty() || !trace_path_.empty() || !jsonl_path_.empty() ||
-        !csv_path_.empty()) {
+        !csv_path_.empty() || !openmetrics_path_.empty()) {
       telemetry_ = std::make_unique<telemetry::Telemetry>();
     }
   }
@@ -342,6 +348,24 @@ class Report {
         status = 1;
       }
     }
+    if (!openmetrics_path_.empty() && telemetry_) {
+      std::ofstream os(openmetrics_path_);
+      if (os) {
+        telemetry::openmetrics::Writer w(os);
+        // Profiler identity first so scrapers can key off the mode before
+        // interpreting the derived profile.* gauges.
+        w.info("profile", "hardware-counter profiler identity",
+               {{"mode", profile::to_string(telemetry_->profile.mode())},
+                {"unavailable", telemetry_->profile.unavailable_reason()}});
+        telemetry::openmetrics::write_families(w, telemetry_->registry);
+        w.eof();
+        std::cout << "openmetrics: " << openmetrics_path_ << '\n';
+      } else {
+        std::cerr << "error: cannot write openmetrics to " << openmetrics_path_
+                  << '\n';
+        status = 1;
+      }
+    }
     return status;
   }
 
@@ -395,6 +419,13 @@ class Report {
     w.kv("workers",
          static_cast<std::uint64_t>(mcore::ThreadPool::default_worker_count()));
     w.kv("backend", device::to_string(device::default_backend()));
+    if (telemetry_) {
+      // Counter source for the profile.* gauges in this snapshot; strings,
+      // so bench_compare's exact-match gate (build_type/checked/
+      // telemetry_build only) never trips on them.
+      w.kv("profile_mode", profile::to_string(telemetry_->profile.mode()));
+      w.kv("profile_unavailable", telemetry_->profile.unavailable_reason());
+    }
     w.end_object();
     w.key("values");
     w.begin_object();
@@ -439,6 +470,7 @@ class Report {
   std::string trace_path_;
   std::string jsonl_path_;
   std::string csv_path_;
+  std::string openmetrics_path_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::vector<std::pair<std::string, double>> values_;
   std::vector<TableCopy> tables_;

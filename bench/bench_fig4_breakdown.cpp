@@ -14,10 +14,35 @@ namespace {
 
 using namespace esthera;
 
+/// Sum of the six per-stage profile accumulators in `tel`'s profiler (all
+/// filters in this bench share the Report telemetry, so the accumulators
+/// are cumulative; rows diff before/after snapshots).
+profile::CounterSums profile_snapshot(telemetry::Telemetry* tel) {
+  profile::CounterSums total{};
+  if (tel == nullptr || !tel->profile.enabled()) return total;
+  for (std::size_t s = 0; s < core::kStageCount; ++s) {
+    const auto sums =
+        tel->profile
+            .accumulator(std::string("stage.") +
+                         core::StageTimers::key(static_cast<core::Stage>(s)))
+            .sums();
+    total.task_clock_ns += sums.task_clock_ns;
+    total.cycles += sums.cycles;
+    total.instructions += sums.instructions;
+    total.cache_references += sums.cache_references;
+    total.cache_misses += sums.cache_misses;
+    total.branch_misses += sums.branch_misses;
+    total.samples += sums.samples;
+    total.hardware_samples += sums.hardware_samples;
+  }
+  return total;
+}
+
 void run_config(bench_util::Table& table, const std::string& label,
                 core::FilterConfig cfg, std::size_t joints, std::size_t steps,
                 telemetry::Telemetry* tel) {
   cfg.telemetry = tel;
+  const profile::CounterSums prof_before = profile_snapshot(tel);
   sim::RobotArmScenarioConfig scenario_cfg;
   scenario_cfg.arm.n_joints = joints;
   sim::RobotArmScenario scenario(scenario_cfg);
@@ -38,12 +63,27 @@ void run_config(bench_util::Table& table, const std::string& label,
   }
   row.push_back(bench_util::Table::num(
       static_cast<double>(steps) / pf.timers().total(), 1));
+  // Hardware-counter columns: aggregate across the six stages, normalised
+  // per particle-step. "-" when only the software task-clock was live
+  // (perf denied or ESTHERA_PROFILE=off|sw) -- the bench still completes.
+  const profile::CounterSums delta = profile_snapshot(tel) - prof_before;
+  const double particles = static_cast<double>(cfg.particles_per_filter) *
+                           static_cast<double>(cfg.num_filters) *
+                           static_cast<double>(steps);
+  if (delta.hardware_samples > 0 && particles > 0.0) {
+    row.push_back(bench_util::Table::num(delta.ipc(), 2));
+    row.push_back(bench_util::Table::num(delta.cycles / particles, 1));
+    row.push_back(bench_util::Table::num(delta.cache_misses / particles, 3));
+  } else {
+    row.insert(row.end(), {"-", "-", "-"});
+  }
   table.add_row(std::move(row));
 }
 
 bench_util::Table make_table(const std::string& dim_label) {
   return bench_util::Table({dim_label, "rand%", "sampling%", "local sort%",
-                            "global est%", "exchange%", "resampling%", "Hz"});
+                            "global est%", "exchange%", "resampling%", "Hz",
+                            "IPC", "cyc/part", "miss/part"});
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "device/backend.hpp"
 #include "mcore/thread_pool.hpp"
 #include "models/robot_arm.hpp"
+#include "profile/profile.hpp"
 #include "prng/mtgp_stream.hpp"
 #include "prng/philox.hpp"
 #include "resample/metropolis.hpp"
@@ -31,16 +32,48 @@ std::vector<float> random_floats(std::size_t n, float lo, float hi) {
   return v;
 }
 
+/// One shared profiler (honouring ESTHERA_PROFILE) for hardware-counter
+/// annotation of representative kernels. Sampled once around the whole
+/// timed loop, not per iteration -- the perf read syscall would otherwise
+/// dwarf the small kernels.
+profile::Profiler& shared_profiler() {
+  static profile::Profiler prof;
+  return prof;
+}
+
+/// Call after SetItemsProcessed: attaches ipc / cyc_per_item /
+/// miss_per_item counters to the benchmark when hardware counters are
+/// live; silently skips them otherwise (perf denied, ESTHERA_PROFILE=off).
+void annotate_hw_counters(benchmark::State& state,
+                          const profile::Sample& begin) {
+  const profile::Sample end = shared_profiler().sample();
+  if (!begin.hardware || !end.hardware) return;
+  const auto delta = [](std::uint64_t b, std::uint64_t e) {
+    return e > b ? static_cast<double>(e - b) : 0.0;
+  };
+  const double cycles = delta(begin.cycles, end.cycles);
+  const double instructions = delta(begin.instructions, end.instructions);
+  const double misses = delta(begin.cache_misses, end.cache_misses);
+  const double items = static_cast<double>(state.items_processed());
+  if (cycles > 0.0) state.counters["ipc"] = instructions / cycles;
+  if (items > 0.0) {
+    state.counters["cyc_per_item"] = cycles / items;
+    state.counters["miss_per_item"] = misses / items;
+  }
+}
+
 void BM_BitonicSort(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto input = random_floats(n, -1.0f, 1.0f);
   std::vector<float> keys(n);
+  const profile::Sample prof_begin = shared_profiler().sample();
   for (auto _ : state) {
     keys = input;
     sortnet::bitonic_sort(std::span<float>(keys));
     benchmark::DoNotOptimize(keys.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  annotate_hw_counters(state, prof_begin);
 }
 BENCHMARK(BM_BitonicSort)->Arg(64)->Arg(512)->Arg(4096);
 
@@ -63,11 +96,13 @@ void BM_BlellochScan(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto input = random_floats(n, 0.0f, 1.0f);
   std::vector<float> data(n);
+  const profile::Sample prof_begin = shared_profiler().sample();
   for (auto _ : state) {
     data = input;
     benchmark::DoNotOptimize(sortnet::blelloch_exclusive_scan(std::span<float>(data)));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  annotate_hw_counters(state, prof_begin);
 }
 BENCHMARK(BM_BlellochScan)->Arg(512)->Arg(4096)->Arg(65536);
 
@@ -91,12 +126,14 @@ void BM_MetropolisResample(benchmark::State& state) {
   std::vector<std::uint32_t> out(n);
   const std::size_t steps = resample::metropolis_default_steps(n);
   std::uint64_t round = 0;
+  const profile::Sample prof_begin = shared_profiler().sample();
   for (auto _ : state) {
     prng::PhiloxStream chain(7, round++);
     resample::metropolis_resample<float>(w, steps, chain, out);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  annotate_hw_counters(state, prof_begin);
 }
 BENCHMARK(BM_MetropolisResample)->Arg(512)->Arg(4096)->Arg(65536);
 
@@ -146,11 +183,13 @@ void BM_VoseSample(benchmark::State& state) {
   resample::AliasTable<float> table;
   resample::vose_build<float>(w, table);
   std::vector<std::uint32_t> out(n);
+  const profile::Sample prof_begin = shared_profiler().sample();
   for (auto _ : state) {
     resample::vose_sample<float>(table, uniforms, out);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  annotate_hw_counters(state, prof_begin);
 }
 BENCHMARK(BM_VoseSample)->Arg(512)->Arg(4096)->Arg(65536);
 
@@ -161,6 +200,7 @@ void BM_StreamFill(benchmark::State& state) {
   prng::MtgpStream stream(groups, 42, G);
   prng::RandomBuffer<float> buf;
   buf.resize(groups, 512 * 9, 2 * 512 + 1);
+  const profile::Sample prof_begin = shared_profiler().sample();
   for (auto _ : state) {
     stream.fill(pool, buf);
     benchmark::DoNotOptimize(buf.normals.data());
@@ -168,6 +208,7 @@ void BM_StreamFill(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(buf.normals.size() +
                                                     buf.uniforms.size()));
+  annotate_hw_counters(state, prof_begin);
 }
 BENCHMARK(BM_StreamFill<prng::Generator::kMtgp>)->Arg(8)->Arg(64);
 BENCHMARK(BM_StreamFill<prng::Generator::kPhilox>)->Arg(8)->Arg(64);

@@ -6,14 +6,27 @@
 // in-flight batches, latency quantiles, per-session state, and the
 // flight-recorder occupancy as a live table.
 //
-//   ./esthera_top [frames]   (default 5 frames, one per 100 ms)
+//   ./esthera_top [frames] [--interval <ms>] [--once]
+//     frames          number of snapshots (default 5)
+//     --interval <ms> time between snapshots (default 100)
+//     --once          single snapshot, then exit (frames = 1)
+//
+// When stdout is a terminal each frame redraws the screen in place; when
+// it is a pipe or file the renderer is skipped and each snapshot is
+// emitted as one raw esthera.statusz/1 JSON document per line (JSONL), so
+// `esthera_top --once > status.json` and cron-style collection both work.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "serve/session_manager.hpp"
 #include "sim/ground_truth.hpp"
@@ -69,11 +82,34 @@ void render_frame(std::size_t frame, const telemetry::json::Value& status) {
   std::printf("\n");
 }
 
+bool stdout_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return ::isatty(::fileno(stdout)) != 0;
+#else
+  return false;
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t frames =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 5;
+  std::size_t frames = 5;
+  long interval_ms = 100;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      frames = 1;
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_ms = std::atol(argv[++i]);
+      if (interval_ms < 0) interval_ms = 0;
+    } else if (argv[i][0] != '-') {
+      frames = static_cast<std::size_t>(std::atoi(argv[i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [frames] [--interval <ms>] [--once]\n", argv[0]);
+      return 2;
+    }
+  }
+  const bool tty = stdout_is_tty();
 
   telemetry::Telemetry tel;
   serve::ServeConfig scfg;
@@ -117,23 +153,38 @@ int main(int argc, char** argv) {
                            static_cast<double>(frame * 4 + round));
         }
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
       std::ostringstream doc;
       mgr.write_statusz(doc);
+      if (!tty) {
+        // Non-interactive consumers get the raw document, one per line
+        // (JSONL); no screen control sequences, no rendered table.
+        std::string line = doc.str();
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+        std::printf("%s\n", line.c_str());
+        std::fflush(stdout);
+        continue;
+      }
       std::string error;
       const auto status = telemetry::json::parse(doc.str(), &error);
       if (!status) {
         std::printf("statusz parse error: %s\n", error.c_str());
         return 1;
       }
+      // Redraw in place: cursor home + clear-to-end, like top(1).
+      if (frame > 0) std::printf("\x1b[H\x1b[J");
       render_frame(frame, *status);
     }
   }  // BatchLoop drains on scope exit
 
-  std::printf("served %llu requests in %llu batches\n",
-              static_cast<unsigned long long>(
-                  tel.registry.counter("serve.requests.completed").value()),
-              static_cast<unsigned long long>(
-                  tel.registry.counter("serve.batches").value()));
+  if (tty) {
+    std::printf("served %llu requests in %llu batches\n",
+                static_cast<unsigned long long>(
+                    tel.registry.counter("serve.requests.completed").value()),
+                static_cast<unsigned long long>(
+                    tel.registry.counter("serve.batches").value()));
+  }
   return 0;
 }

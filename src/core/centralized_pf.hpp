@@ -131,6 +131,19 @@ class CentralizedParticleFilter {
       cnt_scan_ = &tel_->registry.counter("work.scan_sweeps");
       cnt_metropolis_ = &tel_->registry.counter("work.metropolis_steps");
       cnt_rejection_ = &tel_->registry.counter("work.rejection_trials");
+      // Hardware-counter attribution for the three stages this filter has.
+      tel_->registry.gauge("profile.mode")
+          .set(static_cast<double>(tel_->profile.mode()));
+      tel_->registry.gauge("profile.unavailable")
+          .set(tel_->profile.unavailable_reason().empty() ? 0.0 : 1.0);
+      if (tel_->profile.enabled()) {
+        prof_ = &tel_->profile;
+        for (const Stage s :
+             {Stage::kSampling, Stage::kGlobalEstimate, Stage::kResampling}) {
+          stage_accum_[static_cast<std::size_t>(s)] = &prof_->accumulator(
+              std::string("stage.") + StageTimers::key(s));
+        }
+      }
     }
     initialize();
   }
@@ -163,6 +176,7 @@ class CentralizedParticleFilter {
       telemetry::ScopedSpan span(trace, "sampling+weighting", 0, 1, step_,
                                  stage_track, stage_ctx);
       auto timer = stage_timer(Stage::kSampling);
+      auto pscope = stage_profile(Stage::kSampling);
       if (opts_.move_steps > 0) {
         // Keep x_{k-1}: the move step proposes fresh transitions from the
         // predecessor of each resampled particle's parent.
@@ -201,6 +215,7 @@ class CentralizedParticleFilter {
       telemetry::ScopedSpan span(trace, "global estimate", 0, 1, step_,
                                  stage_track, stage_ctx);
       auto timer = stage_timer(Stage::kGlobalEstimate);
+      auto pscope = stage_profile(Stage::kGlobalEstimate);
       update_estimate();
     }
     bool resampled = false;
@@ -208,6 +223,7 @@ class CentralizedParticleFilter {
       telemetry::ScopedSpan span(trace, "resampling", 0, 1, step_,
                                  stage_track, stage_ctx);
       auto timer = stage_timer(Stage::kResampling);
+      auto pscope = stage_profile(Stage::kResampling);
       resampled = maybe_resample();
       if (resampled && opts_.move_steps > 0) {
         apply_move_steps(z, u);
@@ -243,6 +259,13 @@ class CentralizedParticleFilter {
   [[nodiscard]] ScopedStageTimer stage_timer(Stage stage) {
     return ScopedStageTimer(timers_, stage,
                             stage_hist_[static_cast<std::size_t>(stage)]);
+  }
+
+  /// Hardware/task-clock sampling scope for a stage (inert when the
+  /// profiler is off; see distributed_pf.hpp).
+  [[nodiscard]] profile::Scope stage_profile(Stage stage) {
+    return profile::Scope(
+        prof_, prof_ ? stage_accum_[static_cast<std::size_t>(stage)] : nullptr);
   }
 
   /// Per-step series + counters; called only when tel_ != nullptr, after
@@ -516,6 +539,8 @@ class CentralizedParticleFilter {
   telemetry::Counter* cnt_metropolis_ = nullptr;
   telemetry::Counter* cnt_rejection_ = nullptr;
   std::array<telemetry::LatencyHistogram*, kStageCount> stage_hist_{};
+  profile::Profiler* prof_ = nullptr;
+  std::array<profile::StageAccum*, kStageCount> stage_accum_{};
   std::vector<std::uint32_t> unique_scratch_;
   double ess_ = 0.0;
   bool degenerate_ = false;

@@ -365,6 +365,27 @@ class DistributedParticleFilter {
       cnt_rng_ = &tel_->registry.counter("work.rng_draws");
       cnt_metropolis_ = &tel_->registry.counter("work.metropolis_steps");
       cnt_rejection_ = &tel_->registry.counter("work.rejection_trials");
+      // Hardware-counter attribution (esthera::profile): one accumulator
+      // per stage, fed by a profile::Scope around each run_* alongside the
+      // wall-clock stage timer. Mode/availability are published once; the
+      // derived per-particle gauges refresh each step.
+      tel_->registry.gauge("profile.mode")
+          .set(static_cast<double>(tel_->profile.mode()));
+      tel_->registry.gauge("profile.unavailable")
+          .set(tel_->profile.unavailable_reason().empty() ? 0.0 : 1.0);
+      if (tel_->profile.enabled()) {
+        prof_ = &tel_->profile;
+        for (std::size_t s = 0; s < kStageCount; ++s) {
+          const std::string key = StageTimers::key(static_cast<Stage>(s));
+          stage_accum_[s] = &prof_->accumulator("stage." + key);
+          const std::string base = "profile.stage." + key + ".";
+          g_ipc_[s] = &tel_->registry.gauge(base + "ipc");
+          g_cyc_[s] = &tel_->registry.gauge(base + "cycles_per_particle");
+          g_miss_[s] =
+              &tel_->registry.gauge(base + "cache_misses_per_particle");
+          g_ns_[s] = &tel_->registry.gauge(base + "cpu_ns_per_particle");
+        }
+      }
     }
     initialize();
   }
@@ -394,6 +415,15 @@ class DistributedParticleFilter {
                             stage_hist_[static_cast<std::size_t>(stage)]);
   }
 
+  /// Hardware/task-clock sampling scope for a stage. Inert without an
+  /// enabled profiler (prof_ stays null, one branch); when live, also
+  /// publishes itself as the thread's share so the pool mirrors worker
+  /// cycles into the same accumulator.
+  [[nodiscard]] profile::Scope stage_profile(Stage stage) {
+    return profile::Scope(
+        prof_, prof_ ? stage_accum_[static_cast<std::size_t>(stage)] : nullptr);
+  }
+
   void build_neighbor_lists() {
     neighbors_.resize(n_filters_);
     for (std::size_t g = 0; g < n_filters_; ++g) {
@@ -404,6 +434,7 @@ class DistributedParticleFilter {
 
   void run_rand() {
     auto timer = stage_timer(Stage::kRand);
+    auto prof = stage_profile(Stage::kRand);
     {
       // The PRNG fill goes straight to the pool rather than through
       // launch(); give it its own kernel span.
@@ -425,6 +456,7 @@ class DistributedParticleFilter {
 
   void run_sampling(std::span<const T> z, std::span<const T> u) {
     auto timer = stage_timer(Stage::kSampling);
+    auto prof = stage_profile(Stage::kSampling);
     const std::size_t nd = model_.noise_dim();
     launch("sampling+weighting", [&](std::size_t g) {
       const auto normals = rand_.group_normals(g);
@@ -453,6 +485,7 @@ class DistributedParticleFilter {
 
   void run_local_sort() {
     auto timer = stage_timer(Stage::kLocalSort);
+    auto prof = stage_profile(Stage::kLocalSort);
     launch("local sort", [&](std::size_t g) {
       const std::size_t base = g * m_;
       auto keys = std::span<T>(sort_keys_).subspan(base, m_);
@@ -488,6 +521,7 @@ class DistributedParticleFilter {
 
   void run_global_estimate() {
     auto timer = stage_timer(Stage::kGlobalEstimate);
+    auto prof = stage_profile(Stage::kGlobalEstimate);
     if (cfg_.estimator == EstimatorKind::kMaxWeight) {
       launch("global estimate", [&](std::size_t g) {
         local_best_lw_[g] = cur_.log_weights()[g * m_];  // sorted: best first
@@ -569,6 +603,7 @@ class DistributedParticleFilter {
       return;
     }
     auto timer = stage_timer(Stage::kExchange);
+    auto prof = stage_profile(Stage::kExchange);
     // Phase A: every sub-filter publishes its top-t (sorted: the first t).
     launch("exchange", [&](std::size_t g) {
       const std::size_t base = g * m_;
@@ -648,6 +683,7 @@ class DistributedParticleFilter {
 
   void run_resampling() {
     auto timer = stage_timer(Stage::kResampling);
+    auto prof = stage_profile(Stage::kResampling);
     launch("resampling", [&](std::size_t g) {
       const std::size_t base = g * m_;
       const auto lw = cur_.log_weights(base, m_);
@@ -881,6 +917,24 @@ class DistributedParticleFilter {
     reg.gauge("device.launches").set(static_cast<double>(dev_->launch_count()));
     series.record(step_, "pool.jobs_executed",
                   static_cast<double>(pool_stats.jobs_executed));
+    if (prof_) {
+      // Derived per-particle profile gauges, refreshed from the lifetime
+      // accumulator sums: the hardware-side complement of the stage.* time
+      // histograms. Hardware-derived gauges stay 0 in software fallback
+      // (task-clock-per-particle is always live).
+      ++prof_steps_;
+      const double particles =
+          static_cast<double>(n_total_) * static_cast<double>(prof_steps_);
+      for (std::size_t s = 0; s < kStageCount; ++s) {
+        const auto sums = stage_accum_[s]->sums();
+        g_ns_[s]->set(sums.task_clock_ns / particles);
+        if (sums.hardware_samples > 0) {
+          g_ipc_[s]->set(sums.ipc());
+          g_cyc_[s]->set(sums.cycles / particles);
+          g_miss_[s]->set(sums.cache_misses / particles);
+        }
+      }
+    }
   }
 
   /// Host-side, once per step() when a HealthMonitor is attached: feeds the
@@ -997,6 +1051,16 @@ class DistributedParticleFilter {
   telemetry::Counter* cnt_rng_ = nullptr;
   telemetry::Counter* cnt_metropolis_ = nullptr;
   telemetry::Counter* cnt_rejection_ = nullptr;
+  // Hardware-counter attribution (null when telemetry is off or
+  // ESTHERA_PROFILE=off); cached per-stage accumulators and derived-metric
+  // gauges so the per-step refresh touches no registry maps.
+  profile::Profiler* prof_ = nullptr;
+  std::array<profile::StageAccum*, kStageCount> stage_accum_{};
+  std::array<telemetry::Gauge*, kStageCount> g_ipc_{};
+  std::array<telemetry::Gauge*, kStageCount> g_cyc_{};
+  std::array<telemetry::Gauge*, kStageCount> g_miss_{};
+  std::array<telemetry::Gauge*, kStageCount> g_ns_{};
+  std::uint64_t prof_steps_ = 0;
   std::vector<double> group_ess_;
   std::vector<double> group_unique_;
   std::vector<double> group_entropy_;

@@ -53,6 +53,10 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       seen_epoch = epoch_;
       job = job_;
     }
+    // Mirror the dispatcher's profiling scope (if any) onto this pool
+    // thread for the duration of its share, so hardware/task-clock deltas
+    // from worker threads accrue into the same stage accumulator.
+    profile::ShareScope profile_share(job->share);
     execute_share(*job, worker_index);
   }
 }
@@ -76,6 +80,7 @@ void ThreadPool::run(std::size_t n,
   job->fn = &fn;
   job->n = n;
   job->chunk = chunk;
+  job->share = profile::current_share();
   {
     std::lock_guard lock(mutex_);
     job_ = job;

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "profile/profile.hpp"
+
 namespace esthera::mcore {
 
 /// A fixed-size pool of worker threads executing bulk-parallel index ranges.
@@ -90,6 +92,11 @@ class ThreadPool {
     const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::size_t n = 0;
     std::size_t chunk = 1;
+    // The dispatching thread's active profiling scope, captured at run();
+    // pool threads mirror it so their cycles land in the same stage
+    // accumulator as the host side. The host thread itself (worker 0 /
+    // inline) is already covered by its own active Scope.
+    profile::ThreadShare share;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
   };

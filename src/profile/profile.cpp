@@ -1,0 +1,340 @@
+#include "profile/profile.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace esthera::profile {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_profiler_id{1};
+std::atomic<bool> g_force_unavailable{false};
+
+thread_local ThreadShare t_current_share;
+
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+#else
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
+#endif
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t sat_delta(std::uint64_t begin, std::uint64_t end) {
+  return end > begin ? end - begin : 0;
+}
+
+}  // namespace
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kSoftware: return "software";
+    case Mode::kHardware: return "hardware";
+  }
+  return "software";
+}
+
+CounterSums CounterSums::operator-(const CounterSums& base) const {
+  CounterSums d;
+  d.task_clock_ns = task_clock_ns - base.task_clock_ns;
+  d.cycles = cycles - base.cycles;
+  d.instructions = instructions - base.instructions;
+  d.cache_references = cache_references - base.cache_references;
+  d.cache_misses = cache_misses - base.cache_misses;
+  d.branch_misses = branch_misses - base.branch_misses;
+  d.samples = samples - base.samples;
+  d.hardware_samples = hardware_samples - base.hardware_samples;
+  return d;
+}
+
+void StageAccum::accrue(const Sample& begin, const Sample& end) {
+  task_clock_ns_.fetch_add(sat_delta(begin.task_clock_ns, end.task_clock_ns),
+                           std::memory_order_relaxed);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  if (!begin.hardware || !end.hardware) return;
+  cycles_.fetch_add(sat_delta(begin.cycles, end.cycles),
+                    std::memory_order_relaxed);
+  instructions_.fetch_add(sat_delta(begin.instructions, end.instructions),
+                          std::memory_order_relaxed);
+  cache_references_.fetch_add(
+      sat_delta(begin.cache_references, end.cache_references),
+      std::memory_order_relaxed);
+  cache_misses_.fetch_add(sat_delta(begin.cache_misses, end.cache_misses),
+                          std::memory_order_relaxed);
+  branch_misses_.fetch_add(sat_delta(begin.branch_misses, end.branch_misses),
+                           std::memory_order_relaxed);
+  hardware_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CounterSums StageAccum::sums() const {
+  CounterSums s;
+  s.task_clock_ns =
+      static_cast<double>(task_clock_ns_.load(std::memory_order_relaxed));
+  s.cycles = static_cast<double>(cycles_.load(std::memory_order_relaxed));
+  s.instructions =
+      static_cast<double>(instructions_.load(std::memory_order_relaxed));
+  s.cache_references =
+      static_cast<double>(cache_references_.load(std::memory_order_relaxed));
+  s.cache_misses =
+      static_cast<double>(cache_misses_.load(std::memory_order_relaxed));
+  s.branch_misses =
+      static_cast<double>(branch_misses_.load(std::memory_order_relaxed));
+  s.samples = samples_.load(std::memory_order_relaxed);
+  s.hardware_samples = hardware_samples_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void StageAccum::reset() {
+  task_clock_ns_.store(0, std::memory_order_relaxed);
+  cycles_.store(0, std::memory_order_relaxed);
+  instructions_.store(0, std::memory_order_relaxed);
+  cache_references_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  branch_misses_.store(0, std::memory_order_relaxed);
+  samples_.store(0, std::memory_order_relaxed);
+  hardware_samples_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread perf_event_open counter group. One group per (thread,
+// profiler): leader cycles + four siblings, read together with
+// PERF_FORMAT_GROUP so a sample is one read(2). TOTAL_TIME_ENABLED /
+// TOTAL_TIME_RUNNING let the reader undo kernel counter multiplexing
+// (five fixed+programmable events may exceed the PMU's width).
+// ---------------------------------------------------------------------------
+
+struct Profiler::ThreadGroup {
+#ifdef __linux__
+  static constexpr int kEvents = 5;
+  int fds[kEvents] = {-1, -1, -1, -1, -1};
+  bool ok = false;
+
+  ~ThreadGroup() {
+    for (int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  /// Opens the group on the calling thread (pid=0, cpu=-1: this thread,
+  /// any CPU). All-or-nothing; on failure `error` gets a structured
+  /// reason and every fd is closed.
+  bool open(std::string* error) {
+    static constexpr std::uint64_t kConfigs[kEvents] = {
+        PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+        PERF_COUNT_HW_BRANCH_MISSES};
+    if (g_force_unavailable.load(std::memory_order_relaxed)) {
+      if (error != nullptr) {
+        *error = "perf_event_open denied (EACCES): forced unavailable by "
+                 "test hook";
+      }
+      return false;
+    }
+    for (int e = 0; e < kEvents; ++e) {
+      perf_event_attr attr{};
+      attr.size = sizeof(attr);
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = kConfigs[e];
+      // User-space-only counting works under perf_event_paranoid <= 2
+      // (the common container default) where kernel counting would not.
+      attr.exclude_kernel = 1;
+      attr.exclude_hv = 1;
+      attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                         PERF_FORMAT_TOTAL_TIME_RUNNING;
+      const int group_fd = e == 0 ? -1 : fds[0];
+      const long fd = ::syscall(__NR_perf_event_open, &attr, 0, -1, group_fd,
+                                0UL);
+      if (fd < 0) {
+        if (error != nullptr) {
+          const int err = errno;
+          *error = std::string("perf_event_open failed for hardware event ") +
+                   std::to_string(e) + ": " + std::strerror(err);
+          if (err == EACCES || err == EPERM) {
+            *error += " (check /proc/sys/kernel/perf_event_paranoid or "
+                      "CAP_PERFMON)";
+          }
+        }
+        for (int i = 0; i < e; ++i) {
+          ::close(fds[i]);
+          fds[i] = -1;
+        }
+        return false;
+      }
+      fds[e] = static_cast<int>(fd);
+    }
+    ok = true;
+    return true;
+  }
+
+  bool read(Sample& out) const {
+    if (!ok) return false;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+    std::uint64_t buf[3 + kEvents] = {};
+    const ssize_t n = ::read(fds[0], buf, sizeof buf);
+    if (n != static_cast<ssize_t>(sizeof buf) || buf[0] != kEvents) {
+      return false;
+    }
+    const std::uint64_t enabled = buf[1];
+    const std::uint64_t running = buf[2];
+    // Multiplexing correction: when the PMU time-sliced the group,
+    // extrapolate to the full enabled window.
+    const double scale =
+        running > 0 ? static_cast<double>(enabled) / static_cast<double>(running)
+                    : 0.0;
+    const auto scaled = [&](int e) {
+      return static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(buf[3 + e]) * scale));
+    };
+    out.cycles = scaled(0);
+    out.instructions = scaled(1);
+    out.cache_references = scaled(2);
+    out.cache_misses = scaled(3);
+    out.branch_misses = scaled(4);
+    out.hardware = true;
+    return true;
+  }
+#else
+  bool open(std::string* error) {
+    if (error != nullptr) {
+      *error = "perf_event_open unavailable: not a Linux build";
+    }
+    return false;
+  }
+  bool read(Sample&) const { return false; }
+#endif
+};
+
+Profiler::Profiler()
+    : id_(g_next_profiler_id.fetch_add(1, std::memory_order_relaxed)) {
+  // Mode request: ESTHERA_PROFILE = off | sw | hw | auto (default auto).
+  // Unrecognized values behave like auto rather than failing: profiling
+  // must never take the filter down.
+  const char* env = std::getenv("ESTHERA_PROFILE");
+  const std::string req = env != nullptr ? env : "auto";
+  if (req == "off") {
+    mode_ = Mode::kOff;
+    return;
+  }
+  if (req == "sw") {
+    mode_ = Mode::kSoftware;
+    return;
+  }
+  // "hw" and "auto": eager availability probe on the constructing thread,
+  // so mode()/unavailable_reason() are deterministic for the lifetime.
+  ThreadGroup probe;
+  std::string reason;
+  if (probe.open(&reason)) {
+    mode_ = Mode::kHardware;
+  } else {
+    mode_ = Mode::kSoftware;
+    unavailable_reason_ = reason;
+  }
+}
+
+Profiler::~Profiler() = default;
+
+StageAccum& Profiler::accumulator(std::string_view name) {
+  std::lock_guard lock(accums_mutex_);
+  auto it = accums_.find(name);
+  if (it == accums_.end()) {
+    it = accums_.emplace(std::string(name), std::make_unique<StageAccum>())
+             .first;
+  }
+  return *it->second;
+}
+
+const StageAccum* Profiler::find(std::string_view name) const {
+  std::lock_guard lock(accums_mutex_);
+  const auto it = accums_.find(name);
+  return it == accums_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Profiler::accumulator_names() const {
+  std::lock_guard lock(accums_mutex_);
+  std::vector<std::string> out;
+  out.reserve(accums_.size());
+  for (const auto& [name, _] : accums_) out.push_back(name);
+  return out;
+}
+
+Profiler::ThreadGroup* Profiler::local_group() {
+  // Per-thread group cache keyed by process-unique profiler id, mirroring
+  // TraceRecorder::local_buffer(): the profiler owns the groups (so fds
+  // close on profiler destruction, not thread exit) and the cache avoids
+  // the lock on the hot path. A failed open is cached too (ok == false),
+  // so a denied thread pays one attempt, not one per sample.
+  struct CacheEntry {
+    std::uint64_t profiler_id;
+    ThreadGroup* group;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache) {
+    if (e.profiler_id == id_) return e.group;
+  }
+  auto group = std::make_unique<ThreadGroup>();
+  (void)group->open(nullptr);
+  ThreadGroup* raw = group.get();
+  {
+    std::lock_guard lock(groups_mutex_);
+    groups_.push_back(std::move(group));
+  }
+  cache.push_back({id_, raw});
+  return raw;
+}
+
+Sample Profiler::sample() {
+  Sample s;
+  s.task_clock_ns = thread_cpu_ns();
+  if (mode_ != Mode::kHardware) return s;
+  ThreadGroup* g = local_group();
+  if (g != nullptr) (void)g->read(s);
+  return s;
+}
+
+void Profiler::force_hardware_unavailable_for_testing(bool denied) {
+  g_force_unavailable.store(denied, std::memory_order_relaxed);
+}
+
+ThreadShare current_share() { return t_current_share; }
+
+Scope::Scope(Profiler* profiler, StageAccum* accum) {
+  if (profiler == nullptr || accum == nullptr || !profiler->enabled()) return;
+  profiler_ = profiler;
+  accum_ = accum;
+  prev_ = t_current_share;
+  t_current_share = {profiler_, accum_};
+  begin_ = profiler_->sample();
+}
+
+Scope::~Scope() {
+  if (profiler_ == nullptr) return;
+  accum_->accrue(begin_, profiler_->sample());
+  t_current_share = prev_;
+}
+
+ShareScope::ShareScope(const ThreadShare& share) {
+  if (!share || !share.profiler->enabled()) return;
+  share_ = share;
+  begin_ = share_.profiler->sample();
+}
+
+ShareScope::~ShareScope() {
+  if (!share_) return;
+  share_.accum->accrue(begin_, share_.profiler->sample());
+}
+
+}  // namespace esthera::profile

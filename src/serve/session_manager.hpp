@@ -65,6 +65,7 @@
 #include "telemetry/context.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/openmetrics.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace esthera::serve {
@@ -172,6 +173,22 @@ class SessionManager {
       gauge_dropped_spans_ = &reg.gauge("trace.dropped_spans");
       gauge_flight_occupancy_ = &reg.gauge("flight.occupancy");
       gauge_flight_overwritten_ = &reg.gauge("flight.overwritten");
+      // Hardware-counter attribution for request batches: one "serve.batch"
+      // accumulator fed by a profile::Scope around each batch dispatch.
+      // The pool captures the scope, so the steps each worker executes
+      // accrue their hardware deltas here alongside the batch-size and
+      // latency histograms.
+      auto& prof = cfg_.telemetry->profile;
+      reg.gauge("profile.mode").set(static_cast<double>(prof.mode()));
+      reg.gauge("profile.unavailable")
+          .set(prof.unavailable_reason().empty() ? 0.0 : 1.0);
+      if (prof.enabled()) {
+        prof_ = &prof;
+        batch_accum_ = &prof.accumulator("serve.batch");
+        gauge_batch_ipc_ = &reg.gauge("profile.serve.batch.ipc");
+        gauge_batch_cpu_ns_ =
+            &reg.gauge("profile.serve.batch.cpu_ns_per_request");
+      }
     }
   }
 
@@ -388,15 +405,22 @@ class SessionManager {
     }
     flight_.record(telemetry::FlightEventKind::kSpanBegin, "batch", 0,
                    batch_seq, batch.size());
-    pool_.run(batch.size(), [&](std::size_t i, std::size_t /*worker*/) {
-      Entry& e = batch[i];
-      if (e.req.ctx) {
-        e.bctx = e.req.ctx.child("batch", batch_seq);
-        e.session->filter->step(e.req.z, e.req.u, &e.bctx);
-      } else {
-        e.session->filter->step(e.req.z, e.req.u);
-      }
-    });
+    {
+      // Batch-level profiling scope: the pool captures it at dispatch, so
+      // every worker's share of the batch accrues into "serve.batch".
+      // Session filters with their own profilers nest stage scopes inside
+      // and restore this share on exit.
+      profile::Scope prof_scope(prof_, batch_accum_);
+      pool_.run(batch.size(), [&](std::size_t i, std::size_t /*worker*/) {
+        Entry& e = batch[i];
+        if (e.req.ctx) {
+          e.bctx = e.req.ctx.child("batch", batch_seq);
+          e.session->filter->step(e.req.z, e.req.u, &e.bctx);
+        } else {
+          e.session->filter->step(e.req.z, e.req.u);
+        }
+      });
+    }
     flight_.record(telemetry::FlightEventKind::kSpanEnd, "batch", 0,
                    batch_seq, batch.size());
     {
@@ -453,6 +477,14 @@ class SessionManager {
       if (cnt_completed_) cnt_completed_->add(batch.size());
       if (cnt_batches_) cnt_batches_->add(1);
       if (hist_batch_) hist_batch_->record(static_cast<double>(batch.size()));
+      if (batch_accum_ != nullptr && cnt_completed_ != nullptr) {
+        // Derived batch-profile gauges from the lifetime sums; per-request
+        // normalization uses the completed-request counter updated above.
+        const auto sums = batch_accum_->sums();
+        const auto done = static_cast<double>(cnt_completed_->value());
+        if (done > 0.0) gauge_batch_cpu_ns_->set(sums.task_clock_ns / done);
+        if (sums.hardware_samples > 0) gauge_batch_ipc_->set(sums.ipc());
+      }
       stats.queued_after = queue_size_;
       --in_flight_batches_;
       publish_gauges_locked();
@@ -590,6 +622,27 @@ class SessionManager {
            static_cast<std::uint64_t>(cfg_.telemetry->trace.span_count()));
       w.kv("dropped_spans", cfg_.telemetry->trace.dropped_spans());
       w.end_object();
+      // Profiler identity + batch attribution: the mode is fixed at
+      // telemetry construction, and a non-empty unavailable reason is the
+      // structured signal that a hardware request degraded to software.
+      const auto& prof = cfg_.telemetry->profile;
+      w.key("profile");
+      w.begin_object();
+      w.kv("mode", profile::to_string(prof.mode()));
+      if (!prof.unavailable_reason().empty()) {
+        w.kv("unavailable", prof.unavailable_reason());
+      }
+      if (batch_accum_ != nullptr) {
+        const auto sums = batch_accum_->sums();
+        w.kv("batch_samples", sums.samples);
+        w.kv("batch_cpu_ns", sums.task_clock_ns);
+        if (sums.hardware_samples > 0) {
+          w.kv("batch_ipc", sums.ipc());
+          w.kv("batch_cycles", sums.cycles);
+          w.kv("batch_cache_misses", sums.cache_misses);
+        }
+      }
+      w.end_object();
     }
     w.key("flight");
     w.begin_object();
@@ -631,6 +684,26 @@ class SessionManager {
     }
     w.end_object();
     os << '\n';
+  }
+
+  /// OpenMetrics text exposition of the manager's registry (counters,
+  /// gauges, histograms with le buckets + exemplars) plus an
+  /// esthera_profile info metric carrying the profiler mode and the
+  /// structured unavailable reason. Scrape-ready: ends with "# EOF".
+  /// Without telemetry the document is valid but empty.
+  void write_openmetrics(std::ostream& os) const {
+    telemetry::openmetrics::Writer w(os);
+    if (cfg_.telemetry != nullptr) {
+      // Histogram writes happen under this mutex, so bucket/count reads
+      // here are consistent with each other.
+      std::unique_lock lock(mutex_);
+      const auto& prof = cfg_.telemetry->profile;
+      w.info("profile", "hardware-counter profiler identity",
+             {{"mode", profile::to_string(prof.mode())},
+              {"unavailable", prof.unavailable_reason()}});
+      telemetry::openmetrics::write_families(w, cfg_.telemetry->registry);
+    }
+    w.eof();
   }
 
  private:
@@ -792,6 +865,12 @@ class SessionManager {
   telemetry::Gauge* gauge_flight_overwritten_ = nullptr;
   telemetry::LatencyHistogram* hist_latency_ = nullptr;
   telemetry::LatencyHistogram* hist_batch_ = nullptr;
+  // Batch-level hardware-counter attribution (null when telemetry is off
+  // or ESTHERA_PROFILE=off).
+  profile::Profiler* prof_ = nullptr;
+  profile::StageAccum* batch_accum_ = nullptr;
+  telemetry::Gauge* gauge_batch_ipc_ = nullptr;
+  telemetry::Gauge* gauge_batch_cpu_ns_ = nullptr;
 };
 
 /// Background scheduler: calls run_batch() in a loop, sleeping for the

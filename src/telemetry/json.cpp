@@ -8,26 +8,81 @@
 
 namespace esthera::telemetry::json {
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not well-formed UTF-8 (truncated sequence, bad
+/// continuation, overlong encoding, surrogate code point, > U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char b0 = byte(i);
+  std::size_t len = 0;
+  if (b0 >= 0xC2 && b0 <= 0xDF) {
+    len = 2;
+  } else if (b0 >= 0xE0 && b0 <= 0xEF) {
+    len = 3;
+  } else if (b0 >= 0xF0 && b0 <= 0xF4) {
+    len = 4;
+  } else {
+    // 0x80..0xC1 (stray continuation or overlong 2-byte lead) and
+    // 0xF5..0xFF are never valid leads.
+    return 0;
+  }
+  if (i + len > s.size()) return 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    const unsigned char b = byte(i + k);
+    if (b < 0x80 || b > 0xBF) return 0;
+  }
+  const unsigned char b1 = byte(i + 1);
+  if (b0 == 0xE0 && b1 < 0xA0) return 0;  // overlong 3-byte
+  if (b0 == 0xED && b1 > 0x9F) return 0;  // UTF-16 surrogates U+D800..DFFF
+  if (b0 == 0xF0 && b1 < 0x90) return 0;  // overlong 4-byte
+  if (b0 == 0xF4 && b1 > 0x8F) return 0;  // > U+10FFFF
+  return len;
+}
+
+}  // namespace
+
 std::string escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (u < 0x80) {
+      out += c;
+      ++i;
+      continue;
+    }
+    // Multi-byte region: session/tenant ids are arbitrary caller bytes,
+    // and emitting an ill-formed sequence raw would make the whole
+    // document unparseable. Pass valid UTF-8 through; replace each
+    // invalid byte with U+FFFD.
+    if (const std::size_t len = utf8_sequence_length(s, i); len != 0) {
+      out.append(s.substr(i, len));
+      i += len;
+    } else {
+      out += "\xEF\xBF\xBD";  // U+FFFD replacement character
+      ++i;
     }
   }
   return out;

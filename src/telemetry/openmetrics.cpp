@@ -1,0 +1,164 @@
+#include "telemetry/openmetrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "telemetry/metrics.hpp"
+
+namespace esthera::telemetry::openmetrics {
+
+namespace {
+
+/// Deterministic float rendering for sample values and le bounds.
+/// %.17g round-trips doubles exactly; +Inf spells the spec's "+Inf".
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string hex_trace(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool name_char_ok(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+}  // namespace
+
+std::string sanitize_name(std::string_view name) {
+  std::string out = "esthera_";
+  out.reserve(out.size() + name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    // The prefix supplies a valid first char, so only the general rule
+    // applies to the mapped bytes.
+    out += name_char_ok(c, false) ? c : '_';
+  }
+  return out;
+}
+
+std::string escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void Writer::counter(std::string_view name, std::string_view help,
+                     std::uint64_t value) {
+  const std::string n = sanitize_name(name);
+  os_ << "# TYPE " << n << " counter\n";
+  if (!help.empty()) os_ << "# HELP " << n << ' ' << escape_help(help) << '\n';
+  os_ << n << "_total " << value << '\n';
+}
+
+void Writer::gauge(std::string_view name, std::string_view help,
+                   double value) {
+  const std::string n = sanitize_name(name);
+  os_ << "# TYPE " << n << " gauge\n";
+  if (!help.empty()) os_ << "# HELP " << n << ' ' << escape_help(help) << '\n';
+  os_ << n << ' ' << fmt_double(value) << '\n';
+}
+
+void Writer::histogram(std::string_view name, std::string_view help,
+                       const LatencyHistogram& h) {
+  const std::string n = sanitize_name(name);
+  os_ << "# TYPE " << n << " histogram\n";
+  if (!help.empty()) os_ << "# HELP " << n << ' ' << escape_help(help) << '\n';
+  // Internal buckets are disjoint; OpenMetrics buckets are cumulative.
+  // Empty trailing buckets collapse onto +Inf implicitly, but every bucket
+  // is emitted so bucket identity is stable across documents.
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < LatencyHistogram::kBucketCount; ++b) {
+    cum += h.bucket_count(b);
+    const bool last = b + 1 == LatencyHistogram::kBucketCount;
+    // The top bucket absorbs every overflow sample, so its true upper
+    // bound is +Inf, which also supplies the spec's mandatory terminal
+    // bucket.
+    const std::string le =
+        last ? "+Inf" : fmt_double(LatencyHistogram::bucket_upper_bound(b));
+    os_ << n << "_bucket{le=\"" << le << "\"} " << cum;
+    if (const std::uint64_t trace = h.exemplar_trace(b); trace != 0) {
+      os_ << " # {trace_id=\"" << hex_trace(trace) << "\"} "
+          << fmt_double(h.exemplar_value(b));
+    }
+    os_ << '\n';
+  }
+  os_ << n << "_sum " << fmt_double(h.sum()) << '\n';
+  os_ << n << "_count " << h.count() << '\n';
+}
+
+void Writer::info(std::string_view name, std::string_view help,
+                  const std::vector<std::pair<std::string, std::string>>&
+                      labels) {
+  const std::string n = sanitize_name(name);
+  os_ << "# TYPE " << n << " info\n";
+  if (!help.empty()) os_ << "# HELP " << n << ' ' << escape_help(help) << '\n';
+  os_ << n << "_info{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os_ << ',';
+    first = false;
+    // Label names share the metric-name charset (no leading 'esthera_'
+    // prefix wanted here, so sanitize by hand).
+    std::string key;
+    for (std::size_t i = 0; i < k.size(); ++i) {
+      key += name_char_ok(k[i], i == 0) ? k[i] : '_';
+    }
+    os_ << key << "=\"" << escape_label(v) << '"';
+  }
+  os_ << "} 1\n";
+}
+
+void Writer::eof() { os_ << "# EOF\n"; }
+
+void write_families(Writer& w, const MetricsRegistry& registry) {
+  for (const auto& name : registry.counter_names()) {
+    w.counter(name, {}, registry.find_counter(name)->value());
+  }
+  for (const auto& name : registry.gauge_names()) {
+    w.gauge(name, {}, registry.find_gauge(name)->value());
+  }
+  for (const auto& name : registry.histogram_names()) {
+    w.histogram(name, {}, *registry.find_histogram(name));
+  }
+}
+
+void write_registry(std::ostream& os, const MetricsRegistry& registry) {
+  Writer w(os);
+  write_families(w, registry);
+  w.eof();
+}
+
+}  // namespace esthera::telemetry::openmetrics

@@ -24,6 +24,7 @@
 // every benchmark filter by default.
 #pragma once
 
+#include "profile/profile.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/series.hpp"
 #include "telemetry/trace.hpp"
@@ -43,6 +44,11 @@ struct Telemetry {
   MetricsRegistry registry;
   TraceRecorder trace;
   StepSeries series;
+  /// Hardware-counter attribution (perf_event_open with software
+  /// task-clock fallback); resolves its mode from ESTHERA_PROFILE at
+  /// construction. Like every other member, recording through it is
+  /// purely passive -- estimates stay bit-identical.
+  profile::Profiler profile;
 };
 
 }  // namespace esthera::telemetry

@@ -1,0 +1,366 @@
+// esthera::profile tests: ESTHERA_PROFILE mode resolution, the
+// forced-denied perf_event_open fallback (software counters + structured
+// profile.unavailable reason instead of failure), StageAccum accrual
+// semantics, scope share nesting and ThreadPool mirroring, and the
+// layer's core contract -- estimates are bit-identical with profiling
+// off, software, or hardware-denied (the profiler is purely passive).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/distributed_pf.hpp"
+#include "mcore/thread_pool.hpp"
+#include "models/robot_arm.hpp"
+#include "profile/profile.hpp"
+#include "sim/ground_truth.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace esthera;
+
+/// Scoped ESTHERA_PROFILE override; restores the previous value (or
+/// unsets) on destruction so tests cannot leak mode requests.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* value) {
+    const char* prev = std::getenv("ESTHERA_PROFILE");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value != nullptr) {
+      ::setenv("ESTHERA_PROFILE", value, 1);
+    } else {
+      ::unsetenv("ESTHERA_PROFILE");
+    }
+  }
+  ~EnvGuard() {
+    if (had_prev_) {
+      ::setenv("ESTHERA_PROFILE", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("ESTHERA_PROFILE");
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+/// Scoped forced-denial of perf_event_open (see the test hook).
+class DenyGuard {
+ public:
+  DenyGuard() { profile::Profiler::force_hardware_unavailable_for_testing(true); }
+  ~DenyGuard() {
+    profile::Profiler::force_hardware_unavailable_for_testing(false);
+  }
+};
+
+void spin_work() {
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+}
+
+// ------------------------------------------------------------- mode/env
+
+TEST(ProfileMode, OffDisablesSampling) {
+  EnvGuard env("off");
+  profile::Profiler prof;
+  EXPECT_EQ(prof.mode(), profile::Mode::kOff);
+  EXPECT_FALSE(prof.enabled());
+  EXPECT_FALSE(prof.hardware());
+  // Off by request is not a degradation: no unavailable signal.
+  EXPECT_TRUE(prof.unavailable_reason().empty());
+  EXPECT_STREQ(profile::to_string(prof.mode()), "off");
+}
+
+TEST(ProfileMode, SoftwareByRequestHasNoUnavailableReason) {
+  EnvGuard env("sw");
+  profile::Profiler prof;
+  EXPECT_EQ(prof.mode(), profile::Mode::kSoftware);
+  EXPECT_TRUE(prof.enabled());
+  EXPECT_FALSE(prof.hardware());
+  EXPECT_TRUE(prof.unavailable_reason().empty());
+}
+
+TEST(ProfileMode, AutoResolvesAndReasonMatchesOutcome) {
+  EnvGuard env(nullptr);  // default: auto
+  profile::Profiler prof;
+  EXPECT_TRUE(prof.enabled());
+  // auto probes hardware eagerly; the unavailable reason is non-empty
+  // exactly when the probe degraded to software.
+  EXPECT_EQ(prof.unavailable_reason().empty(), prof.hardware());
+}
+
+TEST(ProfileMode, UnrecognizedValueBehavesLikeAuto) {
+  EnvGuard env("bogus-mode");
+  profile::Profiler prof;
+  EXPECT_TRUE(prof.enabled());
+  EXPECT_EQ(prof.unavailable_reason().empty(), prof.hardware());
+}
+
+// ------------------------------------------------------ denied fallback
+
+TEST(ProfileFallback, DeniedPerfDegradesToSoftwareWithStructuredReason) {
+  DenyGuard deny;
+  EnvGuard env("hw");
+  profile::Profiler prof;
+  // "hw" must degrade, not fail: the filter keeps running.
+  EXPECT_EQ(prof.mode(), profile::Mode::kSoftware);
+  EXPECT_TRUE(prof.enabled());
+  ASSERT_FALSE(prof.unavailable_reason().empty());
+  EXPECT_NE(prof.unavailable_reason().find("perf_event_open"),
+            std::string::npos);
+
+  // Sampling still works through the software clock.
+  auto& acc = prof.accumulator("stage.test");
+  {
+    profile::Scope scope(&prof, &acc);
+    spin_work();
+  }
+  const auto sums = acc.sums();
+  EXPECT_EQ(sums.samples, 1u);
+  EXPECT_EQ(sums.hardware_samples, 0u);
+  EXPECT_GT(sums.task_clock_ns, 0.0);
+  EXPECT_EQ(sums.cycles, 0.0);
+}
+
+TEST(ProfileFallback, SampleNeverFailsWhenDenied) {
+  DenyGuard deny;
+  EnvGuard env("auto");
+  profile::Profiler prof;
+  const auto s = prof.sample();
+  EXPECT_FALSE(s.hardware);
+  EXPECT_EQ(s.cycles, 0u);
+}
+
+// ----------------------------------------------------------- accumulator
+
+TEST(StageAccum, AccruesDeltasAndSaturatesBackwardClocks) {
+  profile::StageAccum acc;
+  profile::Sample a, b;
+  a.task_clock_ns = 100;
+  b.task_clock_ns = 350;
+  acc.accrue(a, b);
+  // A sample pair where end < begin (clock discontinuity) clamps to 0
+  // instead of wrapping.
+  acc.accrue(b, a);
+  const auto sums = acc.sums();
+  EXPECT_EQ(sums.samples, 2u);
+  EXPECT_EQ(sums.task_clock_ns, 250.0);
+  EXPECT_EQ(sums.hardware_samples, 0u);
+
+  acc.reset();
+  EXPECT_EQ(acc.sums().samples, 0u);
+  EXPECT_EQ(acc.sums().task_clock_ns, 0.0);
+}
+
+TEST(StageAccum, HardwareFieldsRequireHardwareOnBothSides) {
+  profile::StageAccum acc;
+  profile::Sample a, b;
+  a.hardware = true;
+  a.cycles = 1000;
+  a.instructions = 2000;
+  b.hardware = false;  // e.g. the end sample came from a degraded thread
+  b.cycles = 5000;
+  b.instructions = 9000;
+  acc.accrue(a, b);
+  EXPECT_EQ(acc.sums().hardware_samples, 0u);
+  EXPECT_EQ(acc.sums().cycles, 0.0);
+
+  b.hardware = true;
+  acc.accrue(a, b);
+  const auto sums = acc.sums();
+  EXPECT_EQ(sums.samples, 2u);
+  EXPECT_EQ(sums.hardware_samples, 1u);
+  EXPECT_EQ(sums.cycles, 4000.0);
+  EXPECT_EQ(sums.instructions, 7000.0);
+  EXPECT_NEAR(sums.ipc(), 7000.0 / 4000.0, 1e-12);
+}
+
+TEST(CounterSums, DifferenceIsFieldWise) {
+  profile::CounterSums a, b;
+  a.cycles = 100;
+  a.samples = 3;
+  b.cycles = 450;
+  b.samples = 5;
+  const auto d = b - a;
+  EXPECT_EQ(d.cycles, 350.0);
+  EXPECT_EQ(d.samples, 2u);
+}
+
+// ------------------------------------------------------- scopes / shares
+
+TEST(ProfileScope, PublishesAndRestoresThreadShare) {
+  EnvGuard env("sw");
+  profile::Profiler prof;
+  auto& outer_acc = prof.accumulator("outer");
+  auto& inner_acc = prof.accumulator("inner");
+  EXPECT_FALSE(static_cast<bool>(profile::current_share()));
+  {
+    profile::Scope outer(&prof, &outer_acc);
+    EXPECT_EQ(profile::current_share().accum, &outer_acc);
+    {
+      profile::Scope inner(&prof, &inner_acc);
+      EXPECT_EQ(profile::current_share().accum, &inner_acc);
+    }
+    // Inner scope exit restores the outer share.
+    EXPECT_EQ(profile::current_share().accum, &outer_acc);
+  }
+  EXPECT_FALSE(static_cast<bool>(profile::current_share()));
+  EXPECT_EQ(outer_acc.sums().samples, 1u);
+  EXPECT_EQ(inner_acc.sums().samples, 1u);
+}
+
+TEST(ProfileScope, DisabledProfilerIsInert) {
+  EnvGuard env("off");
+  profile::Profiler prof;
+  auto& acc = prof.accumulator("noop");
+  {
+    profile::Scope scope(&prof, &acc);
+    EXPECT_FALSE(static_cast<bool>(profile::current_share()));
+  }
+  EXPECT_EQ(acc.sums().samples, 0u);
+
+  // Null profiler / null accum are equally inert (the filters' disabled
+  // path).
+  { profile::Scope scope(nullptr, nullptr); }
+  EXPECT_FALSE(static_cast<bool>(profile::current_share()));
+}
+
+TEST(ProfileScope, ThreadPoolMirrorsDispatchShare) {
+  EnvGuard env("sw");
+  profile::Profiler prof;
+  auto& acc = prof.accumulator("pool");
+  mcore::ThreadPool pool(4);
+  {
+    profile::Scope scope(&prof, &acc);
+    pool.run(64, [](std::size_t, std::size_t) { spin_work(); }, 1);
+  }
+  const auto sums = acc.sums();
+  // The host scope contributes one sample; every pool thread that claimed
+  // a share contributes one more. Scheduling decides how many of the 3
+  // pool threads woke in time, so bound rather than pin the count.
+  EXPECT_GE(sums.samples, 1u);
+  EXPECT_LE(sums.samples, 4u);
+  EXPECT_GT(sums.task_clock_ns, 0.0);
+}
+
+TEST(ProfileScope, PoolWithoutActiveScopeAccruesNothing) {
+  EnvGuard env("sw");
+  profile::Profiler prof;
+  auto& acc = prof.accumulator("idle");
+  mcore::ThreadPool pool(2);
+  pool.run(8, [](std::size_t, std::size_t) { spin_work(); }, 1);
+  EXPECT_EQ(acc.sums().samples, 0u);
+}
+
+// -------------------------------------------------- filters: bit-identity
+
+core::FilterConfig profile_config() {
+  core::FilterConfig cfg;
+  cfg.particles_per_filter = 32;
+  cfg.num_filters = 16;
+  cfg.scheme = topology::ExchangeScheme::kRing;
+  cfg.exchange_particles = 1;
+  cfg.workers = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::vector<float> run_arm_estimates(telemetry::Telemetry* tel, int steps,
+                                     std::uint64_t seed) {
+  sim::RobotArmScenario scenario;
+  scenario.reset(seed);
+  core::FilterConfig cfg = profile_config();
+  cfg.telemetry = tel;
+  core::DistributedParticleFilter<models::RobotArmModel<float>> pf(
+      scenario.make_model<float>(), cfg);
+  std::vector<float> z, u, out;
+  for (int k = 0; k < steps; ++k) {
+    const auto step = scenario.advance();
+    z.assign(step.z.begin(), step.z.end());
+    u.assign(step.u.begin(), step.u.end());
+    pf.step(z, u);
+    out.insert(out.end(), pf.estimate().begin(), pf.estimate().end());
+  }
+  return out;
+}
+
+TEST(ProfileEquivalence, EstimatesBitIdenticalAcrossModes) {
+  // Baseline: no telemetry at all.
+  std::vector<float> base;
+  {
+    EnvGuard env("off");
+    base = run_arm_estimates(nullptr, 12, 5);
+  }
+
+  const auto expect_same = [&](const std::vector<float>& observed,
+                               const char* label) {
+    ASSERT_EQ(base.size(), observed.size()) << label;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      ASSERT_EQ(base[i], observed[i])
+          << label << ": estimate diverged at element " << i;
+    }
+  };
+
+  {
+    EnvGuard env("off");
+    telemetry::Telemetry tel;
+    expect_same(run_arm_estimates(&tel, 12, 5), "profile off");
+    EXPECT_EQ(tel.profile.mode(), profile::Mode::kOff);
+  }
+  {
+    EnvGuard env("sw");
+    telemetry::Telemetry tel;
+    expect_same(run_arm_estimates(&tel, 12, 5), "profile software");
+    // The passive observer actually observed: every stage accrued scopes.
+    const auto* acc = tel.profile.find("stage.sampling");
+    ASSERT_NE(acc, nullptr);
+    EXPECT_GE(acc->sums().samples, 12u);
+    EXPECT_GT(acc->sums().task_clock_ns, 0.0);
+  }
+  {
+    // Hardware requested but denied: the degraded path must also be
+    // bit-identical and must surface the structured unavailable signal.
+    DenyGuard deny;
+    EnvGuard env("hw");
+    telemetry::Telemetry tel;
+    expect_same(run_arm_estimates(&tel, 12, 5), "profile hw denied");
+    EXPECT_EQ(tel.profile.mode(), profile::Mode::kSoftware);
+    EXPECT_FALSE(tel.profile.unavailable_reason().empty());
+    const auto* g = tel.registry.find_gauge("profile.unavailable");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->value(), 1.0);
+  }
+  {
+    // Whatever auto resolves to on this machine (hardware where allowed),
+    // the estimates still match bit for bit.
+    EnvGuard env(nullptr);
+    telemetry::Telemetry tel;
+    expect_same(run_arm_estimates(&tel, 12, 5), "profile auto");
+  }
+}
+
+TEST(ProfileGauges, DerivedPerParticleGaugesAppearWhenEnabled) {
+  EnvGuard env("sw");
+  telemetry::Telemetry tel;
+  (void)run_arm_estimates(&tel, 4, 9);
+  // Software mode: the cpu-ns gauge updates, the hardware-derived ones
+  // stay untouched (no hardware samples to divide).
+  const auto* ns = tel.registry.find_gauge("profile.stage.sampling.cpu_ns_per_particle");
+  ASSERT_NE(ns, nullptr);
+  EXPECT_GT(ns->value(), 0.0);
+  const auto* ipc = tel.registry.find_gauge("profile.stage.sampling.ipc");
+  ASSERT_NE(ipc, nullptr);
+  EXPECT_EQ(ipc->value(), 0.0);
+  const auto* mode = tel.registry.find_gauge("profile.mode");
+  ASSERT_NE(mode, nullptr);
+  EXPECT_EQ(mode->value(),
+            static_cast<double>(profile::Mode::kSoftware));
+}
+
+}  // namespace
