@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "serve/cluster.hpp"
 #include "serve/session_manager.hpp"
 
 namespace {
@@ -190,6 +191,83 @@ int main(int argc, char** argv) {
     report.add_value("serve_rejected", static_cast<double>(rejected));
     report.add_value("serve_estimate_l1", estimate_l1);
     table.add_row({"serve 3 sessions 10 rounds (L1)",
+                   bench_util::Table::num(estimate_l1, 4)});
+  }
+
+  // Sharded serving: the same fixed submit pattern through a 2-shard
+  // ServeCluster, with a deterministic mid-run migration and one
+  // spill/restore cycle. Pumped sequentially from this thread, sessions
+  // stepping on inline single-worker devices: the estimate checksum and
+  // the cluster.* counters (accepted, migrations, spills, restores, the
+  // per-reason rejects) are machine-independent. Session telemetry stays
+  // detached -- the per-shard serve.* registries are cluster-owned and the
+  // report only gates the cluster.* catalogue.
+  {
+    serve::ClusterConfig ccfg;
+    ccfg.shards = 2;
+    ccfg.shard.workers = 1;
+    ccfg.shard.max_queue = 8;
+    ccfg.shard.max_pending_per_session = 2;
+    ccfg.shard.max_batch = 3;
+    ccfg.telemetry = report.telemetry();
+    serve::ServeCluster<models::RobotArmModel<float>> cluster(ccfg);
+
+    constexpr std::size_t kSessions = 3;
+    constexpr std::size_t kRounds = 10;
+    std::vector<sim::RobotArmScenario> scenarios(kSessions);
+    std::vector<std::uint64_t> ids;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      scenarios[s].reset(400 + s);
+      core::FilterConfig fcfg;
+      fcfg.particles_per_filter = 32;
+      fcfg.num_filters = 8;
+      fcfg.seed = 87 + s;
+      const auto opened =
+          cluster.open_session(scenarios[s].make_model<float>(), fcfg, 1 + s);
+      if (!opened.ok()) {
+        std::cerr << "error: cluster gate open_session: "
+                  << serve::to_string(opened.admission) << '\n';
+        return 1;
+      }
+      ids.push_back(opened.id);
+    }
+
+    std::uint64_t rejected = 0;
+    std::vector<float> z, u;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      for (std::size_t s = 0; s < kSessions; ++s) {
+        // Per-session cap of two, three submits: one deterministic
+        // backlog rejection per session per round, cluster-counted.
+        for (int burst = 0; burst < 3; ++burst) {
+          const auto step = scenarios[s].advance();
+          z.assign(step.z.begin(), step.z.end());
+          u.assign(step.u.begin(), step.u.end());
+          const auto verdict =
+              cluster.submit(ids[s], z, u, static_cast<double>(round));
+          if (!verdict.ok()) ++rejected;
+        }
+      }
+      while (cluster.pump() > 0) {
+      }
+      if (round == kRounds / 2) {
+        // Deterministic mid-run churn: migrate session 1 to the other
+        // shard and push session 2 through a spill/restore cycle.
+        const std::size_t from = *cluster.shard_of(ids[1]);
+        if (!cluster.migrate(ids[1], (from + 1) % 2)) return 1;
+        if (!cluster.spill_session(ids[2])) return 1;
+      }
+    }
+    cluster.drain();
+
+    double estimate_l1 = 0.0;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const auto est = cluster.estimate(ids[s]);
+      if (!est) return 1;
+      for (const float v : *est) estimate_l1 += std::abs(static_cast<double>(v));
+    }
+    report.add_value("cluster_rejected", static_cast<double>(rejected));
+    report.add_value("cluster_estimate_l1", estimate_l1);
+    table.add_row({"cluster 2 shards 3 sessions (L1)",
                    bench_util::Table::num(estimate_l1, 4)});
   }
 

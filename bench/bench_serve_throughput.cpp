@@ -21,6 +21,21 @@
 //   --flight-dump P  dump the manager's flight-recorder ring to P as
 //                    esthera.flight/1 JSONL after the run
 //   --statusz P      dump one esthera.statusz/1 document to P after the run
+//
+// With --shards N (N > 1) the single manager is replaced by an
+// esthera::serve::ServeCluster and the workload becomes a sweep: the same
+// open-loop schedule at 1x, 4x, and 10x the configured session count,
+// reporting per-point p99 request latency and the reject mix from the
+// cluster.* counters. Cluster-mode extras:
+//
+//   --shards N             SessionManager shards behind the hash ring
+//   --spill-budget BYTES   spill-store byte budget; also caps resident
+//                          sessions at 3/4 of the sweep point's session
+//                          count so the LRU spiller actually engages
+//   --cluster-statusz P    dump the aggregated esthera.cluster.statusz/1
+//                          document (largest sweep point) to P
+//   --cluster-openmetrics P  dump the shard-labeled OpenMetrics exposition
+//                          (largest sweep point) to P
 #include <chrono>
 #include <cstddef>
 #include <fstream>
@@ -30,6 +45,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "serve/cluster.hpp"
 #include "serve/session_manager.hpp"
 
 namespace {
@@ -154,6 +170,124 @@ WorkloadResult run_workload(std::size_t sessions, std::size_t requests,
   return result;
 }
 
+using Cluster = serve::ServeCluster<models::RobotArmModel<float>>;
+
+struct ClusterResult {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t spill_restores = 0;
+  double wall = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+// One open-loop run against a fresh ServeCluster, same arrival schedule as
+// the single-manager path (request k of session s arrives at index
+// k*sessions + s). Pumped from this thread only; per-session trajectories
+// stay deterministic, the measured quantity is scheduling + stepping.
+ClusterResult run_cluster_workload(std::size_t shards, std::size_t sessions,
+                                   std::size_t requests, double rate,
+                                   const serve::ServeConfig& shard_cfg,
+                                   std::size_t spill_budget,
+                                   telemetry::Telemetry& tel,
+                                   const std::string& statusz_path = "",
+                                   const std::string& om_path = "") {
+  serve::ClusterConfig ccfg;
+  ccfg.shards = shards;
+  ccfg.shard = shard_cfg;
+  ccfg.telemetry = &tel;
+  if (spill_budget > 0) {
+    ccfg.spill.budget_bytes = spill_budget;
+    // A spill budget without residency pressure never spills; cap the
+    // resident set so the LRU sweep has work to do.
+    ccfg.max_resident_sessions = std::max<std::size_t>(1, sessions * 3 / 4);
+  }
+  Cluster cluster(ccfg);
+
+  std::vector<SessionTraffic> traffic(sessions);
+  std::vector<Cluster::SessionId> ids;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    sim::RobotArmScenario scenario;
+    scenario.reset(1000 + s);
+    core::FilterConfig fcfg;
+    fcfg.particles_per_filter = 32;
+    fcfg.num_filters = 8;
+    fcfg.seed = 100 + s;
+    const auto opened =
+        cluster.open_session(scenario.make_model<float>(), fcfg, 1 + s % 3);
+    if (!opened.ok()) {
+      std::cerr << "error: cluster open_session: "
+                << serve::to_string(opened.admission) << '\n';
+      std::exit(1);
+    }
+    ids.push_back(opened.id);
+    traffic[s].z.reserve(requests);
+    traffic[s].u.reserve(requests);
+    for (std::size_t k = 0; k < requests; ++k) {
+      const auto step = scenario.advance();
+      traffic[s].z.emplace_back(step.z.begin(), step.z.end());
+      traffic[s].u.emplace_back(step.u.begin(), step.u.end());
+    }
+  }
+
+  const std::size_t total = sessions * requests;
+  ClusterResult result;
+  std::size_t next = 0;
+  const auto t0 = Clock::now();
+  while (next < total || cluster.queue_depth() > 0) {
+    const double now = std::chrono::duration<double>(Clock::now() - t0).count();
+    while (next < total) {
+      const double at = rate > 0.0 ? static_cast<double>(next) / rate : 0.0;
+      if (at > now) break;
+      const std::size_t s = next % sessions;
+      const std::size_t k = next / sessions;
+      const auto verdict =
+          cluster.submit(ids[s], traffic[s].z[k], traffic[s].u[k], at, now);
+      verdict.ok() ? ++result.accepted : ++result.rejected;
+      ++next;
+    }
+    if (cluster.pump() == 0 && next < total) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  result.wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  cluster.drain();
+
+  const auto merged = cluster.merged_latency();
+  result.p50 = merged.quantile(0.50);
+  result.p99 = merged.quantile(0.99);
+  if (const auto* c = tel.registry.find_counter("cluster.spills")) {
+    result.spills = c->value();
+  }
+  if (const auto* c = tel.registry.find_counter("cluster.spill.restores")) {
+    result.spill_restores = c->value();
+  }
+  if (!statusz_path.empty()) {
+    std::ofstream os(statusz_path);
+    if (os) {
+      cluster.write_statusz(os);
+      std::cout << "cluster statusz: " << statusz_path << '\n';
+    } else {
+      std::cerr << "error: cannot write cluster statusz to " << statusz_path
+                << '\n';
+      std::exit(1);
+    }
+  }
+  if (!om_path.empty()) {
+    std::ofstream os(om_path);
+    if (os) {
+      cluster.write_openmetrics(os);
+      std::cout << "cluster openmetrics: " << om_path << '\n';
+    } else {
+      std::cerr << "error: cannot write cluster openmetrics to " << om_path
+                << '\n';
+      std::exit(1);
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,7 +295,8 @@ int main(int argc, char** argv) {
       argc, argv,
       bench::standard_flags({"--sessions", "--requests", "--rate",
                              "--max-batch", "--max-queue", "--flight-dump",
-                             "--statusz"}));
+                             "--statusz", "--shards", "--spill-budget",
+                             "--cluster-statusz", "--cluster-openmetrics"}));
   bench::Report report(
       cli, "Serving throughput",
       "Open-loop multi-tenant serving: independent tracking sessions behind "
@@ -177,6 +312,64 @@ int main(int argc, char** argv) {
   scfg.max_batch = cli.get_size("--max-batch", 16);
   scfg.max_queue = cli.get_size("--max-queue", 256);
   scfg.max_pending_per_session = 8;
+
+  const std::size_t shards = cli.get_size("--shards", 1);
+  if (shards > 1) {
+    // Cluster mode: the same open-loop schedule swept over 1x / 4x / 10x
+    // the configured session count -- the scale-out question is how p99
+    // and the reject mix hold up as the session population grows past
+    // what one manager serves.
+    const std::size_t spill_budget = cli.get_size("--spill-budget", 0);
+    report.add_value("cluster_shards", static_cast<double>(shards));
+    report.add_value("cluster_spill_budget_bytes",
+                     static_cast<double>(spill_budget));
+    bench_util::Table table({"sessions", "accepted", "rejected", "p50 (s)",
+                             "p99 (s)", "req/s", "spills"});
+    const std::size_t multipliers[] = {1, 4, 10};
+    for (const std::size_t m : multipliers) {
+      const std::size_t n = sessions * m;
+      telemetry::Telemetry tel;  // fresh counters per sweep point
+      const bool last = m == 10;
+      const ClusterResult r = run_cluster_workload(
+          shards, n, requests, rate, scfg, spill_budget, tel,
+          last ? cli.get("--cluster-statusz", "") : "",
+          last ? cli.get("--cluster-openmetrics", "") : "");
+      const double throughput =
+          r.wall > 0.0 ? static_cast<double>(r.accepted) / r.wall : 0.0;
+      const std::string tag = "cluster_x" + std::to_string(m) + "_";
+      report.add_value(tag + "sessions", static_cast<double>(n));
+      report.add_value(tag + "accepted", static_cast<double>(r.accepted));
+      report.add_value(tag + "rejected", static_cast<double>(r.rejected));
+      report.add_value(tag + "latency_p50", r.p50);
+      report.add_value(tag + "latency_p99", r.p99);
+      report.add_value(tag + "throughput_hz", throughput);
+      report.add_value(tag + "spills", static_cast<double>(r.spills));
+      report.add_value(tag + "spill_restores",
+                       static_cast<double>(r.spill_restores));
+      // Reject mix: every structured reason the cluster counted this point.
+      for (int a = 1; a < serve::kAdmissionReasonCount; ++a) {
+        const auto reason = serve::to_string(static_cast<serve::Admission>(a));
+        if (const auto* c = tel.registry.find_counter(
+                std::string("cluster.rejected.") + reason)) {
+          if (c->value() > 0) {
+            report.add_value(tag + "rejected_" + reason,
+                             static_cast<double>(c->value()));
+          }
+        }
+      }
+      table.add_row({bench_util::Table::num(n),
+                     bench_util::Table::num(static_cast<std::size_t>(r.accepted)),
+                     bench_util::Table::num(static_cast<std::size_t>(r.rejected)),
+                     bench_util::Table::num(r.p50, 6),
+                     bench_util::Table::num(r.p99, 6),
+                     bench_util::Table::num(throughput, 1),
+                     bench_util::Table::num(static_cast<std::size_t>(r.spills))});
+    }
+    table.print(std::cout);
+    report.add_table("cluster_sweep", table);
+    std::cout << '\n';
+    return report.write();
+  }
 
   // Tracing-overhead reference: when a trace export was requested, first
   // run the identical workload untraced against scratch telemetry. Same

@@ -1,10 +1,15 @@
 // esthera_top: a top(1)-style text renderer over the serve runtime's
-// statusz introspection document. It drives a small multi-tenant workload
-// behind a background BatchLoop, snapshots SessionManager::write_statusz()
-// once per frame, re-parses the JSON with the telemetry parser (the same
-// round-trip an external dashboard would do), and renders queue depth,
-// in-flight batches, latency quantiles, per-session state, and the
-// flight-recorder occupancy as a live table.
+// aggregated statusz introspection. It drives a small multi-tenant
+// workload over a 3-shard ServeCluster behind a background
+// ClusterPumpLoop, snapshots ServeCluster::write_statusz() once per
+// frame, re-parses the JSON with the telemetry parser (the same
+// round-trip an external dashboard would do), and renders the
+// cluster-wide queue depth, merged latency quantiles, spill occupancy,
+// one row per shard (sessions, queue depth, spilled count), and one row
+// per session (placement, residency state) as a live table. The resident
+// budget is set below the session count, so the LRU spiller visibly
+// moves cold sessions in and out of the spill store while the frames
+// refresh.
 //
 //   ./esthera_top [frames] [--interval <ms>] [--once]
 //     frames          number of snapshots (default 5)
@@ -13,8 +18,9 @@
 //
 // When stdout is a terminal each frame redraws the screen in place; when
 // it is a pipe or file the renderer is skipped and each snapshot is
-// emitted as one raw esthera.statusz/1 JSON document per line (JSONL), so
-// `esthera_top --once > status.json` and cron-style collection both work.
+// emitted as one raw esthera.cluster.statusz/1 JSON document per line
+// (JSONL), so `esthera_top --once > status.json` and cron-style
+// collection both work.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +34,7 @@
 #include <unistd.h>
 #endif
 
-#include "serve/session_manager.hpp"
+#include "serve/cluster.hpp"
 #include "sim/ground_truth.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
@@ -43,40 +49,61 @@ double num(const telemetry::json::Value& v, const char* key) {
   return m != nullptr ? m->as_number() : 0.0;
 }
 
+const std::string& str(const telemetry::json::Value& v, const char* key) {
+  static const std::string empty;
+  const telemetry::json::Value* m = v.find(key);
+  return m != nullptr ? m->as_string() : empty;
+}
+
 void render_frame(std::size_t frame, const telemetry::json::Value& status) {
   std::printf("-- esthera top · frame %zu %s\n", frame,
               std::string(44, '-').c_str());
-  std::printf("queue %3.0f | batches in flight %2.0f | sessions %2.0f | %s\n",
-              num(status, "queue_depth"), num(status, "batches_in_flight"),
-              num(status, "sessions_open"),
-              status.find("draining") != nullptr &&
-                      status.find("draining")->as_bool()
-                  ? "DRAINING"
-                  : "serving");
+  const auto* summary = status.find("sessions_summary");
+  std::printf(
+      "queue %3.0f | shards %1.0f | sessions %2.0f (%2.0f resident, %2.0f "
+      "spilled) | %s\n",
+      num(status, "queue_depth"), num(status, "shard_count"),
+      summary != nullptr ? num(*summary, "total") : 0.0,
+      summary != nullptr ? num(*summary, "resident") : 0.0,
+      summary != nullptr ? num(*summary, "spilled") : 0.0,
+      status.find("draining") != nullptr && status.find("draining")->as_bool()
+          ? "DRAINING"
+          : "serving");
   if (const auto* lat = status.find("latency"); lat != nullptr) {
     std::printf("latency: n=%5.0f  p50=%8.1f us  p95=%8.1f us  p99=%8.1f us\n",
                 num(*lat, "count"), num(*lat, "p50") * 1e6,
                 num(*lat, "p95") * 1e6, num(*lat, "p99") * 1e6);
+  }
+  if (const auto* sp = status.find("spill"); sp != nullptr) {
+    std::printf("spill:   %3.0f blobs, %6.0f bytes (%.0f spills, %.0f "
+                "restores, %.0f refused)\n",
+                num(*sp, "stored"), num(*sp, "bytes"), num(*sp, "spills"),
+                num(*sp, "restores"), num(*sp, "rejected"));
   }
   if (const auto* fl = status.find("flight"); fl != nullptr) {
     std::printf("flight:  %5.0f/%5.0f events (%.0f overwritten)\n",
                 num(*fl, "occupancy"), num(*fl, "capacity"),
                 num(*fl, "overwritten"));
   }
-  if (const auto* tr = status.find("trace"); tr != nullptr) {
-    std::printf("trace:   %5.0f spans (%.0f dropped)\n", num(*tr, "spans"),
-                num(*tr, "dropped_spans"));
+  // Per-shard load: one row per SessionManager behind the hash ring.
+  std::printf("%5s %8s %6s %7s\n", "shard", "sessions", "queue", "spilled");
+  if (const auto* shards = status.find("shards");
+      shards != nullptr && shards->is_array()) {
+    for (const auto& row : shards->as_array()) {
+      std::printf("%5.0f %8.0f %6.0f %7.0f\n", num(row, "shard"),
+                  num(row, "sessions"), num(row, "queue_depth"),
+                  num(row, "spilled"));
+    }
   }
-  std::printf("%4s %6s %7s %4s %9s %10s\n", "id", "tenant", "pending", "busy",
-              "completed", "cost");
+  // Per-session placement and residency.
+  std::printf("%4s %5s %6s %8s %6s\n", "id", "shard", "tenant", "state",
+              "queued");
   if (const auto* sessions = status.find("sessions");
       sessions != nullptr && sessions->is_array()) {
     for (const auto& s : sessions->as_array()) {
-      std::printf("%4.0f %6.0f %7.0f %4s %9.0f %10.0f\n", num(s, "id"),
-                  num(s, "tenant"), num(s, "pending"),
-                  s.find("busy") != nullptr && s.find("busy")->as_bool() ? "*"
-                                                                         : "-",
-                  num(s, "completed"), num(s, "cost"));
+      std::printf("%4.0f %5.0f %6.0f %8s %6.0f\n", num(s, "id"),
+                  num(s, "shard"), num(s, "tenant"), str(s, "state").c_str(),
+                  num(s, "queued"));
     }
   }
   std::printf("\n");
@@ -112,16 +139,21 @@ int main(int argc, char** argv) {
   const bool tty = stdout_is_tty();
 
   telemetry::Telemetry tel;
-  serve::ServeConfig scfg;
-  scfg.max_batch = 4;
-  scfg.telemetry = &tel;
-  serve::SessionManager<Model> mgr(scfg);
+  serve::ClusterConfig ccfg;
+  ccfg.shards = 3;
+  ccfg.shard.max_batch = 4;
+  // Budget below the session count: the LRU sweep keeps spilling the
+  // coldest idle session, and the next submit restores it -- live churn
+  // for the spill columns.
+  ccfg.max_resident_sessions = 4;
+  ccfg.telemetry = &tel;
+  serve::ServeCluster<Model> cluster(ccfg);
 
   // Three tenants, two sessions each, all fed by one submitter thread
-  // while the BatchLoop schedules in the background.
+  // while the ClusterPumpLoop schedules in the background.
   constexpr std::size_t kSessions = 6;
   std::vector<sim::RobotArmScenario> scenarios;
-  std::vector<serve::SessionManager<Model>::SessionId> ids;
+  std::vector<serve::ServeCluster<Model>::SessionId> ids;
   for (std::size_t s = 0; s < kSessions; ++s) {
     scenarios.emplace_back();
     scenarios.back().reset(70 + s);
@@ -129,8 +161,8 @@ int main(int argc, char** argv) {
     fcfg.particles_per_filter = 64;
     fcfg.num_filters = 16;
     fcfg.seed = 11 + s;
-    const auto opened =
-        mgr.open_session(scenarios.back().make_model<float>(), fcfg, 1 + s % 3);
+    const auto opened = cluster.open_session(scenarios.back().make_model<float>(),
+                                             fcfg, 1 + s % 3);
     if (!opened.ok()) {
       std::printf("open_session rejected: %s\n",
                   serve::to_string(opened.admission));
@@ -140,22 +172,25 @@ int main(int argc, char** argv) {
   }
 
   {
-    serve::BatchLoop<Model> loop(mgr, std::chrono::microseconds(200));
+    serve::ClusterPumpLoop<Model> loop(cluster, std::chrono::microseconds(200));
     std::vector<float> z, u;
     for (std::size_t frame = 0; frame < frames; ++frame) {
-      // A burst of traffic, then one statusz snapshot rendered as text.
+      // A skewed burst of traffic (later sessions submit less often, so
+      // the LRU spiller has cold sessions to pick), then one aggregated
+      // statusz snapshot rendered as text.
       for (std::size_t round = 0; round < 4; ++round) {
         for (std::size_t s = 0; s < kSessions; ++s) {
+          if (s >= 4 && (frame + round) % 3 != 0) continue;
           const auto step = scenarios[s].advance();
           z.assign(step.z.begin(), step.z.end());
           u.assign(step.u.begin(), step.u.end());
-          (void)mgr.submit(ids[s], z, u,
-                           static_cast<double>(frame * 4 + round));
+          (void)cluster.submit(ids[s], z, u,
+                               static_cast<double>(frame * 4 + round));
         }
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
       std::ostringstream doc;
-      mgr.write_statusz(doc);
+      cluster.write_statusz(doc);
       if (!tty) {
         // Non-interactive consumers get the raw document, one per line
         // (JSONL); no screen control sequences, no rendered table.
@@ -177,14 +212,19 @@ int main(int argc, char** argv) {
       if (frame > 0) std::printf("\x1b[H\x1b[J");
       render_frame(frame, *status);
     }
-  }  // BatchLoop drains on scope exit
+  }  // ClusterPumpLoop drains on scope exit
 
   if (tty) {
-    std::printf("served %llu requests in %llu batches\n",
+    std::printf("served %llu requests in %llu batches (%llu spills, %llu "
+                "restores)\n",
                 static_cast<unsigned long long>(
-                    tel.registry.counter("serve.requests.completed").value()),
+                    tel.registry.counter("cluster.requests.completed").value()),
                 static_cast<unsigned long long>(
-                    tel.registry.counter("serve.batches").value()));
+                    tel.registry.counter("cluster.batches").value()),
+                static_cast<unsigned long long>(
+                    tel.registry.counter("cluster.spills").value()),
+                static_cast<unsigned long long>(
+                    tel.registry.counter("cluster.spill.restores").value()));
   }
   return 0;
 }

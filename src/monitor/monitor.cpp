@@ -117,6 +117,29 @@ void HealthMonitor::observe_metropolis(std::uint64_t step, std::int64_t group,
   }
 }
 
+void HealthMonitor::observe_shard_load(std::uint64_t step,
+                                       std::int64_t max_shard,
+                                       double max_depth, double mean_depth) {
+  std::lock_guard lock(mutex_);
+  if (max_depth < cfg_.shard_imbalance_min_depth) return;
+  const double threshold = cfg_.shard_imbalance_ratio * mean_depth;
+  if (max_depth > threshold) {
+    raise(Severity::kWarning, "shard_imbalance", step, max_shard, max_depth,
+          threshold);
+  }
+}
+
+void HealthMonitor::observe_spill_restore(std::uint64_t step,
+                                          std::int64_t session,
+                                          std::uint64_t ticks_spilled) {
+  std::lock_guard lock(mutex_);
+  if (ticks_spilled <= cfg_.spill_thrash_ticks) {
+    raise(Severity::kWarning, "spill_thrash", step, session,
+          static_cast<double>(ticks_spilled),
+          static_cast<double>(cfg_.spill_thrash_ticks));
+  }
+}
+
 std::vector<Event> HealthMonitor::events() const {
   std::lock_guard lock(mutex_);
   return events_;

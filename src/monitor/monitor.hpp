@@ -68,6 +68,18 @@ struct MonitorConfig {
   /// skew beta = m * w_max / W (the bias bound decays like (1-1/beta)^B;
   /// see resample::metropolis_recommended_steps).
   double metropolis_bias_epsilon = 0.05;
+  /// shard_imbalance fires when, across a serve cluster's shards, the
+  /// deepest queue exceeds the mean queue depth by this factor (and the
+  /// deepest queue is at least shard_imbalance_min_depth) -- the hash
+  /// ring or the workload has gone lopsided.
+  double shard_imbalance_ratio = 4.0;
+  /// Minimum deepest-queue depth before shard_imbalance can fire (quiet
+  /// clusters are trivially "imbalanced"; don't page on them).
+  double shard_imbalance_min_depth = 8.0;
+  /// spill_thrash fires when a session is restored from the spill store
+  /// within this many cluster pump ticks of being spilled (the residency
+  /// budget is too tight: sessions bounce between RAM and the store).
+  std::uint64_t spill_thrash_ticks = 4;
   /// Rate limit: after an event fires for a (detector, group) pair, further
   /// trips of that pair are suppressed (counted, not emitted) until this
   /// many steps have passed. 0 emits every trip.
@@ -134,6 +146,23 @@ class HealthMonitor {
   /// MonitorConfig::metropolis_bias_epsilon at this skew.
   void observe_metropolis(std::uint64_t step, std::int64_t group, double beta,
                           std::uint64_t chain_steps);
+
+  // -- cluster-facing probes (passive; called by ServeCluster) -----------
+
+  /// Shard-load sample for one cluster pump tick: `max_depth` is the
+  /// deepest shard queue and `mean_depth` the mean across shards. Fires
+  /// shard_imbalance (group = deepest shard index, value = max_depth,
+  /// threshold = ratio * mean) when the ratio and the minimum depth are
+  /// both exceeded.
+  void observe_shard_load(std::uint64_t step, std::int64_t max_shard,
+                          double max_depth, double mean_depth);
+
+  /// Spill-churn sample: a session was restored from the spill store
+  /// `ticks_spilled` pump ticks after being spilled. Fires spill_thrash
+  /// (group = session id, value = ticks_spilled, threshold =
+  /// spill_thrash_ticks) when the session bounced back too quickly.
+  void observe_spill_restore(std::uint64_t step, std::int64_t session,
+                             std::uint64_t ticks_spilled);
 
   // -- results -----------------------------------------------------------
 

@@ -1,0 +1,65 @@
+#include "serve/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esthera::serve {
+
+std::uint64_t HashRing::mix(std::uint64_t x) {
+  // SplitMix64 finalizer (same generator family as the trace-id minting):
+  // full-avalanche, so consecutive session ids land on unrelated points.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes_per_shard)
+    : shards_(shards) {
+  ring_.reserve(shards * vnodes_per_shard);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t v = 0; v < vnodes_per_shard; ++v) {
+      // Point identity mixes shard and vnode into one key; collisions are
+      // astronomically unlikely but harmless (stable sort order below).
+      const std::uint64_t point =
+          mix((static_cast<std::uint64_t>(s) << 32) | v);
+      ring_.emplace_back(point, static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::shard_for(std::uint64_t key) const {
+  if (ring_.empty()) return 0;
+  const std::uint64_t h = mix(key);
+  // First point at or after the hash, wrapping to the first point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& p, std::uint64_t v) {
+        return p.first < v;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+void ClusterConfig::validate() const {
+  if (shards == 0) {
+    throw std::invalid_argument("ClusterConfig: shards must be positive");
+  }
+  if (vnodes_per_shard == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: vnodes_per_shard must be positive");
+  }
+  if (shed_service_seconds < 0.0) {
+    throw std::invalid_argument(
+        "ClusterConfig: shed_service_seconds must be non-negative");
+  }
+  if (fair_admission && tenant_min_slots == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: tenant_min_slots must be positive under fair "
+        "admission");
+  }
+  shard.validate();
+}
+
+}  // namespace esthera::serve

@@ -20,6 +20,12 @@ const char* to_string(Admission a) {
       return "draining";
     case Admission::kSessionLimit:
       return "session_limit";
+    case Admission::kDeadlineUnmeetable:
+      return "deadline_unmeetable";
+    case Admission::kTenantOverQuota:
+      return "tenant_over_quota";
+    case Admission::kRestoreFailed:
+      return "restore_failed";
   }
   return "?";
 }

@@ -47,10 +47,29 @@ enum class Admission : std::uint8_t {
   kAccepted,        ///< request/session admitted
   kQueueFull,       ///< global pending-request queue at ServeConfig::max_queue
   kSessionBacklog,  ///< session at ServeConfig::max_pending_per_session
-  kUnknownSession,  ///< no session with that id (closed, evicted, or never opened)
+  /// No session with that id: closed, or never opened. NOT used for
+  /// sessions a ServeCluster has evicted to its spill store -- those are
+  /// still known to the cluster and are restored transparently on the
+  /// next submit; only an unrecoverable restore surfaces (as
+  /// kRestoreFailed, never as kUnknownSession).
+  kUnknownSession,
   kDraining,        ///< manager is draining / shut down; not admitting work
   kSessionLimit,    ///< ServeConfig::max_sessions sessions already open
+  /// Cluster overload control: the request's deadline cannot be met even
+  /// if admitted now (EDF shedding; see ClusterConfig::shed_service_seconds).
+  kDeadlineUnmeetable,
+  /// Cluster fair admission: the tenant is over its fair share of queue
+  /// capacity while other tenants have queued work.
+  kTenantOverQuota,
+  /// A spilled session's checkpoint blob failed to decode/restore
+  /// (corrupt or unreadable spill file). Structured, never a crash; the
+  /// blob is kept on disk for postmortem.
+  kRestoreFailed,
 };
+
+/// Number of Admission enumerators (for reject-counter arrays and
+/// flight-code registration loops).
+inline constexpr int kAdmissionReasonCount = 9;
 
 [[nodiscard]] const char* to_string(Admission a);
 

@@ -126,7 +126,7 @@ class SessionManager {
           "resampling"}) {
       flight_.register_code(code);
     }
-    for (int a = 0; a < 6; ++a) {
+    for (int a = 0; a < kAdmissionReasonCount; ++a) {
       flight_.register_code(to_string(static_cast<Admission>(a)));
     }
     for (const char* d :
@@ -564,6 +564,27 @@ class SessionManager {
   /// the automatic path fires on monitor events, see ServeConfig).
   void dump_flight(std::ostream& os) const { flight_.dump_jsonl(os); }
 
+  /// Copy of the manager's request-latency histogram, taken under the
+  /// manager mutex so the buckets are consistent with batch completion
+  /// (histograms are single-writer; an unlocked cross-thread read would
+  /// race). Empty when the manager has no telemetry. This is what a
+  /// ServeCluster merges into its cluster-wide latency view.
+  [[nodiscard]] telemetry::LatencyHistogram latency_snapshot() const {
+    std::unique_lock lock(mutex_);
+    return hist_latency_ != nullptr ? *hist_latency_
+                                    : telemetry::LatencyHistogram{};
+  }
+
+  /// Runs `fn` with the manager mutex held, excluding in-flight batch
+  /// completions -- lets an owning ServeCluster read this manager's
+  /// single-writer telemetry (histograms) race-free while aggregating
+  /// cross-shard exposition documents.
+  template <typename Fn>
+  void with_export_lock(Fn&& fn) const {
+    std::unique_lock lock(mutex_);
+    fn();
+  }
+
   /// Live introspection: one `esthera.statusz/1` JSON document with
   /// per-session state, queue depths, in-flight batches, latency
   /// quantiles, trace/flight occupancy, and recent monitor events.
@@ -850,7 +871,7 @@ class SessionManager {
   // Cached serve.* metrics (null without telemetry).
   telemetry::Counter* cnt_accepted_ = nullptr;
   telemetry::Counter* cnt_completed_ = nullptr;
-  telemetry::Counter* cnt_rejected_[6] = {};
+  telemetry::Counter* cnt_rejected_[kAdmissionReasonCount] = {};
   telemetry::Counter* cnt_batches_ = nullptr;
   telemetry::Counter* cnt_opened_ = nullptr;
   telemetry::Counter* cnt_closed_ = nullptr;

@@ -1,0 +1,127 @@
+#include "serve/spill_store.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace esthera::serve {
+
+namespace {
+
+std::string spill_file_name(std::uint64_t id) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "session-%llu.escp",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace
+
+SpillStore::SpillStore() : SpillStore(Config{}) {}
+
+SpillStore::SpillStore(Config cfg) : cfg_(std::move(cfg)) {}
+
+std::string SpillStore::path_for(std::uint64_t id) const {
+  if (cfg_.dir.empty()) return {};
+  std::string p = cfg_.dir;
+  if (p.back() != '/') p += '/';
+  p += spill_file_name(id);
+  return p;
+}
+
+bool SpillStore::put(std::uint64_t id, const std::vector<std::uint8_t>& blob) {
+  const auto it = bytes_by_id_.find(id);
+  const std::size_t replaced = it != bytes_by_id_.end() ? it->second : 0;
+  if (cfg_.budget_bytes != 0 &&
+      total_bytes_ - replaced + blob.size() > cfg_.budget_bytes) {
+    return false;
+  }
+  if (cfg_.dir.empty()) {
+    blobs_by_id_[id] = blob;
+  } else {
+    const std::string path = path_for(id);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw SpillError("SpillStore: cannot open " + path + " for writing");
+    }
+    os.write(reinterpret_cast<const char*>(blob.data()),
+             static_cast<std::streamsize>(blob.size()));
+    os.flush();
+    if (!os) {
+      throw SpillError("SpillStore: short write to " + path);
+    }
+  }
+  bytes_by_id_[id] = blob.size();
+  total_bytes_ = total_bytes_ - replaced + blob.size();
+  return true;
+}
+
+std::vector<std::uint8_t> SpillStore::take(std::uint64_t id) {
+  const auto it = bytes_by_id_.find(id);
+  if (it == bytes_by_id_.end()) {
+    throw SpillError("SpillStore: no blob stored under id " +
+                     std::to_string(id));
+  }
+  std::vector<std::uint8_t> blob;
+  if (cfg_.dir.empty()) {
+    blob = std::move(blobs_by_id_[id]);
+    blobs_by_id_.erase(id);
+  } else {
+    const std::string path = path_for(id);
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      // Leave the id registered and the file (if any) on disk: the caller
+      // reports a structured restore failure and an operator can inspect.
+      throw SpillError("SpillStore: cannot open " + path + " for reading");
+    }
+    blob.resize(it->second);
+    is.read(reinterpret_cast<char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+    if (static_cast<std::size_t>(is.gcount()) != blob.size()) {
+      throw SpillError("SpillStore: short read from " + path);
+    }
+    std::remove(path.c_str());
+  }
+  total_bytes_ -= it->second;
+  bytes_by_id_.erase(it);
+  return blob;
+}
+
+std::vector<std::uint8_t> SpillStore::peek(std::uint64_t id) const {
+  const auto it = bytes_by_id_.find(id);
+  if (it == bytes_by_id_.end()) {
+    throw SpillError("SpillStore: no blob stored under id " +
+                     std::to_string(id));
+  }
+  if (cfg_.dir.empty()) return blobs_by_id_.at(id);
+  const std::string path = path_for(id);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw SpillError("SpillStore: cannot open " + path + " for reading");
+  }
+  std::vector<std::uint8_t> blob(it->second);
+  is.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(blob.size()));
+  if (static_cast<std::size_t>(is.gcount()) != blob.size()) {
+    throw SpillError("SpillStore: short read from " + path);
+  }
+  return blob;
+}
+
+bool SpillStore::contains(std::uint64_t id) const {
+  return bytes_by_id_.find(id) != bytes_by_id_.end();
+}
+
+void SpillStore::erase(std::uint64_t id) {
+  const auto it = bytes_by_id_.find(id);
+  if (it == bytes_by_id_.end()) return;
+  if (cfg_.dir.empty()) {
+    blobs_by_id_.erase(id);
+  } else {
+    std::remove(path_for(id).c_str());
+  }
+  total_bytes_ -= it->second;
+  bytes_by_id_.erase(it);
+}
+
+}  // namespace esthera::serve

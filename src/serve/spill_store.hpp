@@ -1,0 +1,95 @@
+// SpillStore: the cold tier under esthera::cluster. A ServeCluster keeps
+// only its hottest sessions resident in shard memory; the rest live here
+// as their versioned ESCP checkpoint blobs (serve/checkpoint.hpp), either
+// on disk (one `session-<id>.escp` file per spilled session under a
+// configurable directory) or in memory when no directory is configured
+// (tests, single-process benches). The store enforces a byte budget:
+// put() refuses blobs that would push total occupancy past it, and the
+// cluster reacts by keeping the session resident instead -- spilling is
+// an optimization, never a correctness requirement.
+//
+// The store itself is policy-free: LRU selection of *which* session to
+// spill lives in the cluster (it owns the last-touch clock); the store
+// only moves bytes and accounts for them. All failures are structured:
+// I/O and corruption surface as SpillError (a CheckpointError subclass,
+// so cluster code can catch either), never a crash -- and take() leaves
+// the blob in place on failure so a corrupt spill file survives for
+// postmortem inspection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/checkpoint.hpp"
+
+namespace esthera::serve {
+
+/// Raised on spill-store I/O failures (unwritable directory, vanished or
+/// unreadable spill file). Derives from CheckpointError so callers that
+/// already handle corrupt blobs handle missing ones with the same code.
+class SpillError : public CheckpointError {
+ public:
+  using CheckpointError::CheckpointError;
+};
+
+/// Byte-budgeted blob store keyed by cluster session id.
+class SpillStore {
+ public:
+  struct Config {
+    /// Directory for `session-<id>.escp` files; empty keeps blobs in
+    /// memory. Must already exist when non-empty.
+    std::string dir;
+    /// Total byte budget across all stored blobs; 0 = unbounded.
+    std::size_t budget_bytes = 0;
+  };
+
+  SpillStore();  ///< in-memory, unbounded
+  explicit SpillStore(Config cfg);
+
+  /// Stores `blob` under `id`, replacing any previous blob for the id.
+  /// Returns false (storing nothing, previous blob intact) when the new
+  /// total would exceed the byte budget; throws SpillError when the
+  /// backing file cannot be written.
+  bool put(std::uint64_t id, const std::vector<std::uint8_t>& blob);
+
+  /// Removes and returns the blob stored under `id`. Throws SpillError
+  /// when no blob is stored under the id or the backing file cannot be
+  /// read back -- in the unreadable case the file is left on disk for
+  /// postmortem inspection and the id stays present.
+  [[nodiscard]] std::vector<std::uint8_t> take(std::uint64_t id);
+
+  /// Non-destructive read: a copy of the blob stored under `id`, which
+  /// stays in the store. Same failure behaviour as take(). Lets a cluster
+  /// answer estimate()/step_index() for a spilled session by decoding the
+  /// blob without restoring it.
+  [[nodiscard]] std::vector<std::uint8_t> peek(std::uint64_t id) const;
+
+  /// True when a blob is stored under `id`.
+  [[nodiscard]] bool contains(std::uint64_t id) const;
+
+  /// Drops the blob stored under `id` (and its file); no-op when absent.
+  void erase(std::uint64_t id);
+
+  /// Number of stored blobs.
+  [[nodiscard]] std::size_t size() const { return bytes_by_id_.size(); }
+  /// Total stored bytes.
+  [[nodiscard]] std::size_t bytes() const { return total_bytes_; }
+  /// Configured byte budget (0 = unbounded).
+  [[nodiscard]] std::size_t budget_bytes() const { return cfg_.budget_bytes; }
+
+  /// The path a given session id spills to ("" for in-memory stores).
+  [[nodiscard]] std::string path_for(std::uint64_t id) const;
+
+ private:
+  Config cfg_;
+  /// Stored-blob sizes by id (file-backed mode tracks sizes only; the
+  /// bytes live in the files). In-memory mode also fills blobs_by_id_.
+  std::map<std::uint64_t, std::size_t> bytes_by_id_;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> blobs_by_id_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace esthera::serve

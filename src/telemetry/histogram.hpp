@@ -114,6 +114,35 @@ class LatencyHistogram {
                   : kMinSeconds * std::exp2(static_cast<double>(b) * 0.5);
   }
 
+  /// Folds `other` into this histogram: bucket-wise count addition plus
+  /// exact count/sum and min/max merge. Exemplars keep the same retention
+  /// rule as record() -- per bucket, the larger value wins, ties broken by
+  /// the smaller trace id -- so merging per-shard histograms yields the
+  /// same exemplar a single shared histogram would have retained.
+  /// Single-writer like record(); both sides must be quiescent.
+  void merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      buckets_[b] += other.buckets_[b];
+      const Exemplar& oe = other.exemplars_[b];
+      if (oe.trace_id == 0) continue;
+      Exemplar& e = exemplars_[b];
+      if (e.trace_id == 0 || oe.value > e.value ||
+          (oe.value == e.value && oe.trace_id < e.trace_id)) {
+        e = oe;
+      }
+    }
+  }
+
   void reset() {
     count_ = 0;
     sum_ = 0.0;

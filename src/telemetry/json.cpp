@@ -166,6 +166,11 @@ void JsonWriter::null() {
   os_ << "null";
 }
 
+void JsonWriter::raw_value(std::string_view json) {
+  pre_value();
+  os_ << json;
+}
+
 // ---------------------------------------------------------------------------
 // Validator and DOM parser: one recursive descent over one JSON value.
 // Every production takes a nullable output slot; the validator passes

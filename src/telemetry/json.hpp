@@ -45,6 +45,12 @@ class JsonWriter {
   void value(bool v);
   void null();
 
+  /// Splices `json` -- which must already be one complete, well-formed
+  /// JSON value -- into the stream verbatim (separators handled like any
+  /// other value). This is how the cluster statusz document embeds each
+  /// shard's full statusz document without re-parsing it.
+  void raw_value(std::string_view json);
+
   /// key + value in one call.
   template <typename V>
   void kv(std::string_view k, V v) {

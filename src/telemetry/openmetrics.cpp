@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <set>
 
 #include "telemetry/metrics.hpp"
 
@@ -143,6 +144,51 @@ void Writer::info(std::string_view name, std::string_view help,
 
 void Writer::eof() { os_ << "# EOF\n"; }
 
+void Writer::family_header(std::string_view name, std::string_view type,
+                           std::string_view help) {
+  const std::string n = sanitize_name(name);
+  os_ << "# TYPE " << n << ' ' << type << '\n';
+  if (!help.empty()) os_ << "# HELP " << n << ' ' << escape_help(help) << '\n';
+}
+
+void Writer::counter_sample(std::string_view name, std::string_view label,
+                            std::string_view label_value,
+                            std::uint64_t value) {
+  os_ << sanitize_name(name) << "_total{" << label << "=\""
+      << escape_label(label_value) << "\"} " << value << '\n';
+}
+
+void Writer::gauge_sample(std::string_view name, std::string_view label,
+                          std::string_view label_value, double value) {
+  os_ << sanitize_name(name) << '{' << label << "=\""
+      << escape_label(label_value) << "\"} " << fmt_double(value) << '\n';
+}
+
+void Writer::histogram_sample(std::string_view name, std::string_view label,
+                              std::string_view label_value,
+                              const LatencyHistogram& h) {
+  const std::string n = sanitize_name(name);
+  const std::string lv = escape_label(label_value);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < LatencyHistogram::kBucketCount; ++b) {
+    cum += h.bucket_count(b);
+    const bool last = b + 1 == LatencyHistogram::kBucketCount;
+    const std::string le =
+        last ? "+Inf" : fmt_double(LatencyHistogram::bucket_upper_bound(b));
+    os_ << n << "_bucket{" << label << "=\"" << lv << "\",le=\"" << le
+        << "\"} " << cum;
+    if (const std::uint64_t trace = h.exemplar_trace(b); trace != 0) {
+      os_ << " # {trace_id=\"" << hex_trace(trace) << "\"} "
+          << fmt_double(h.exemplar_value(b));
+    }
+    os_ << '\n';
+  }
+  os_ << n << "_sum{" << label << "=\"" << lv << "\"} " << fmt_double(h.sum())
+      << '\n';
+  os_ << n << "_count{" << label << "=\"" << lv << "\"} " << h.count()
+      << '\n';
+}
+
 void write_families(Writer& w, const MetricsRegistry& registry) {
   for (const auto& name : registry.counter_names()) {
     w.counter(name, {}, registry.find_counter(name)->value());
@@ -159,6 +205,49 @@ void write_registry(std::ostream& os, const MetricsRegistry& registry) {
   Writer w(os);
   write_families(w, registry);
   w.eof();
+}
+
+void write_labeled_families(
+    Writer& w, const std::vector<const MetricsRegistry*>& registries,
+    std::string_view label, bool include_histograms) {
+  // Union of family names per kind, sorted (std::set iteration order), so
+  // a family registered by only some shards is still written exactly once.
+  std::set<std::string> counters, gauges, histograms;
+  for (const MetricsRegistry* reg : registries) {
+    for (auto& n : reg->counter_names()) counters.insert(n);
+    for (auto& n : reg->gauge_names()) gauges.insert(n);
+    for (auto& n : reg->histogram_names()) histograms.insert(n);
+  }
+  const auto label_value = [](std::size_t i) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%zu", i);
+    return std::string(buf);
+  };
+  for (const auto& name : counters) {
+    w.family_header(name, "counter", {});
+    for (std::size_t i = 0; i < registries.size(); ++i) {
+      if (const Counter* c = registries[i]->find_counter(name)) {
+        w.counter_sample(name, label, label_value(i), c->value());
+      }
+    }
+  }
+  for (const auto& name : gauges) {
+    w.family_header(name, "gauge", {});
+    for (std::size_t i = 0; i < registries.size(); ++i) {
+      if (const Gauge* g = registries[i]->find_gauge(name)) {
+        w.gauge_sample(name, label, label_value(i), g->value());
+      }
+    }
+  }
+  if (!include_histograms) return;
+  for (const auto& name : histograms) {
+    w.family_header(name, "histogram", {});
+    for (std::size_t i = 0; i < registries.size(); ++i) {
+      if (const LatencyHistogram* h = registries[i]->find_histogram(name)) {
+        w.histogram_sample(name, label, label_value(i), *h);
+      }
+    }
+  }
 }
 
 }  // namespace esthera::telemetry::openmetrics

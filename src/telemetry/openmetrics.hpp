@@ -68,6 +68,28 @@ class Writer {
   /// Writes the required "# EOF" terminator.
   void eof();
 
+  // -- multi-sample families (sharded exposition) -----------------------
+  // One family may carry several samples distinguished by a label (the
+  // cluster uses shard="<i>"). TYPE/HELP must appear exactly once per
+  // family, so the caller opens the family once and then appends one
+  // labeled sample per shard.
+
+  /// TYPE (+ optional HELP) header for a family whose samples follow via
+  /// the *_sample calls. `type` is "counter", "gauge", or "histogram".
+  void family_header(std::string_view name, std::string_view type,
+                     std::string_view help);
+  /// One labeled counter sample (`<name>_total{label="value"} v`).
+  void counter_sample(std::string_view name, std::string_view label,
+                      std::string_view label_value, std::uint64_t value);
+  /// One labeled gauge sample.
+  void gauge_sample(std::string_view name, std::string_view label,
+                    std::string_view label_value, double value);
+  /// One labeled histogram sample set: cumulative le buckets (the extra
+  /// label first, le last), _sum, and _count, each carrying the label.
+  void histogram_sample(std::string_view name, std::string_view label,
+                        std::string_view label_value,
+                        const LatencyHistogram& h);
+
  private:
   std::ostream& os_;
 };
@@ -80,6 +102,21 @@ void write_families(Writer& w, const MetricsRegistry& registry);
 /// Writes every counter, gauge, and histogram in `registry` (sorted
 /// name order) followed by "# EOF".
 void write_registry(std::ostream& os, const MetricsRegistry& registry);
+
+/// Sharded exposition: takes the union of family names across
+/// `registries` (sorted order) and writes each family once -- TYPE header
+/// followed by one sample per registry that has the family, labeled
+/// `label="<index>"`. Registries must agree on a family's kind (they do:
+/// all shards register the same serve.* catalogue). No terminator, so the
+/// caller can append cluster-level families before eof(). Histograms are
+/// single-writer: pass include_histograms = false when the registries'
+/// owners may still be recording, and write histogram families yourself
+/// from owner-locked snapshots (family_header + histogram_sample).
+void write_labeled_families(Writer& w,
+                            const std::vector<const MetricsRegistry*>&
+                                registries,
+                            std::string_view label,
+                            bool include_histograms = true);
 
 }  // namespace openmetrics
 }  // namespace esthera::telemetry

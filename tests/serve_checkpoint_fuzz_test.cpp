@@ -6,15 +6,21 @@
 // and never silently accept a blob that re-encodes differently.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <random>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/distributed_pf.hpp"
 #include "models/robot_arm.hpp"
 #include "serve/checkpoint.hpp"
+#include "serve/spill_store.hpp"
 #include "sim/ground_truth.hpp"
 
 namespace {
@@ -193,6 +199,75 @@ TEST(ServeCheckpointFuzz, EmptyAndTinyBlobsAreRejected) {
     EXPECT_TRUE(decode_must_reject_or_roundtrip(tiny)) << "size " << n;
     EXPECT_THROW((void)serve::checkpoint_version(tiny), serve::CheckpointError);
   }
+}
+
+// The spill store moves ESCP blobs to disk and back; a crashed writer or a
+// bit-rotted disk hands the decoder whatever survived. Run the same
+// byte-mutation harness through a file-backed SpillStore round trip: any
+// corruption of the spilled file must surface as a structured
+// CheckpointError after take(), never a crash -- and the decoder must not
+// care that the bytes passed through a file.
+TEST(ServeCheckpointFuzz, SpillFileMutationsRejectOrRoundTrip) {
+  const auto blob = valid_blob();
+  char dir_template[] = "/tmp/esthera_spill_fuzz_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  serve::SpillStore::Config cfg;
+  cfg.dir = dir_template;
+  serve::SpillStore store(cfg);
+  std::mt19937_64 gen(0x5b111);
+  for (int trial = 0; trial < 150; ++trial) {
+    ASSERT_TRUE(store.put(1, blob));
+    const std::string path = store.path_for(1);
+    // Corrupt the file in place: flip bytes, truncate, or append garbage.
+    switch (gen() % 3) {
+      case 0: {  // byte flips
+        std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        const std::size_t pos = gen() % blob.size();
+        f.seekg(static_cast<std::streamoff>(pos));
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ (1u << (gen() % 8)));
+        f.seekp(static_cast<std::streamoff>(pos));
+        f.write(&byte, 1);
+        break;
+      }
+      case 1: {  // truncation (store's size bookkeeping now disagrees)
+        const std::size_t keep = gen() % blob.size();
+        std::vector<char> head(keep);
+        {
+          std::ifstream in(path, std::ios::binary);
+          in.read(head.data(), static_cast<std::streamsize>(keep));
+        }
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(head.data(), static_cast<std::streamsize>(keep));
+        break;
+      }
+      default: {  // trailing garbage (take() reads only the recorded size)
+        std::ofstream f(path, std::ios::binary | std::ios::app);
+        for (std::size_t i = 0, n = 1 + gen() % 32; i < n; ++i) {
+          const char c = static_cast<char>(gen());
+          f.write(&c, 1);
+        }
+        break;
+      }
+    }
+    try {
+      const auto read_back = store.take(1);
+      // take() succeeded: the decoder is the last line of defense.
+      if (read_back == blob) {
+        EXPECT_FALSE(decode_must_reject_or_roundtrip(read_back));
+      } else {
+        EXPECT_TRUE(decode_must_reject_or_roundtrip(read_back));
+      }
+    } catch (const serve::CheckpointError&) {
+      // Structured refusal from the store itself (short read): the id and
+      // file stay put for postmortem; clean up for the next trial.
+      store.erase(1);
+    }
+  }
+  store.erase(1);
+  ::rmdir(dir_template);
 }
 
 }  // namespace
